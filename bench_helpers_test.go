@@ -1,0 +1,64 @@
+package multiscatter_test
+
+import (
+	"multiscatter/internal/analog"
+	"multiscatter/internal/channel"
+	"multiscatter/internal/core"
+	"multiscatter/internal/dsp"
+	"multiscatter/internal/phy/dsss"
+	"multiscatter/internal/radio"
+)
+
+// fig4Result summarizes the rectifier comparison of Figure 4.
+type fig4Result struct {
+	// clampBoost is the clamped rectifier's mean output over the basic
+	// rectifier's for the same input.
+	clampBoost float64
+	// oursFidelity / wispFidelity are envelope-tracking correlations on
+	// an 802.11b input.
+	oursFidelity, wispFidelity float64
+}
+
+// runFig4 reruns the rectifier comparison.
+func runFig4() fig4Result {
+	const rate = 22e6
+	env := make([]float64, 2200)
+	for i := range env {
+		if (i/110)%2 == 0 {
+			env[i] = 0.3
+		}
+	}
+	basic := analog.NewBasicRectifier().Detect(env, rate)
+	clamped := analog.NewMultiscatterRectifier().Detect(env, rate)
+	boost := dsp.MeanFloat(clamped) / maxFloat(dsp.MeanFloat(basic), 1e-9)
+
+	mod := dsss.NewModulator(dsss.Config{Rate: dsss.Rate1Mbps})
+	w, _ := mod.Modulate(radio.Packet{Payload: []byte{0xA5, 0x5A, 0x3C}})
+	sig := dsp.Envelope(w.IQ)
+	for i := range sig {
+		if (i/22)%2 == 1 {
+			sig[i] *= 0.2
+		}
+		sig[i] *= 0.4
+	}
+	ours := analog.NewMultiscatterRectifier().Detect(sig, w.Rate)
+	wisp := analog.NewWISPRectifier().Detect(sig, w.Rate)
+	ref := dsp.RemoveDC(dsp.CloneFloat(sig))
+	return fig4Result{
+		clampBoost:   boost,
+		oursFidelity: dsp.NormCorrFloat(dsp.RemoveDC(dsp.CloneFloat(ours)), ref),
+		wispFidelity: dsp.NormCorrFloat(dsp.RemoveDC(dsp.CloneFloat(wisp)), ref),
+	}
+}
+
+// runDownlink reruns the §2.2.1 downlink-range measurement.
+func runDownlink() float64 {
+	return core.DownlinkRange(analog.NewMultiscatterRectifier(), channel.NewLoS())
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,145 @@
+// Command mssim runs a discrete-event multiscatter deployment: excitation
+// sources with configurable rates and duty cycles, an optionally
+// energy-harvesting tag, and a receiver at a configurable distance. It
+// prints per-protocol outcome accounting and a tag-throughput timeline.
+//
+// Usage:
+//
+//	mssim [-span 10s] [-distance 2] [-lux 0] [-single 11n]
+//	      [-wifi 2000] [-ble 34] [-zigbee 20] [-duty 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"multiscatter/internal/excite"
+	"multiscatter/internal/radio"
+	"multiscatter/internal/sim"
+)
+
+var (
+	span     = flag.Duration("span", 10*time.Second, "simulated time span")
+	distance = flag.Float64("distance", 2, "tag→receiver distance (m)")
+	lux      = flag.Float64("lux", 0, "light level for energy harvesting (0 = unlimited power)")
+	single   = flag.String("single", "", "restrict the tag to one protocol (11b, 11n, ble, zigbee)")
+	wifiRate = flag.Float64("wifi", 2000, "802.11n packet rate (pkt/s, 0 disables)")
+	bleRate  = flag.Float64("ble", 34, "BLE packet rate (pkt/s, 0 disables)")
+	zigRate  = flag.Float64("zigbee", 20, "ZigBee packet rate (pkt/s, 0 disables)")
+	duty     = flag.Float64("duty", 0, "duty-cycle every source with this on-fraction (0 = always on)")
+	scenario = flag.String("scenario", "", "use a named excitation scenario (home, office, cafe, warehouse) instead of the rate flags")
+	seed     = flag.Int64("seed", 1, "random seed")
+)
+
+func main() {
+	flag.Parse()
+	var sources []excite.Source
+	add := func(s excite.Source, rate float64) {
+		if rate <= 0 {
+			return
+		}
+		s.PacketRate = rate
+		if *duty > 0 && *duty < 1 {
+			s.Period = time.Second
+			s.OnFraction = *duty
+			s.PhaseOffset = time.Duration(len(sources)) * 250 * time.Millisecond
+		}
+		sources = append(sources, s)
+	}
+	if *scenario != "" {
+		sc, err := excite.FindScenario(*scenario)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mssim:", err)
+			os.Exit(2)
+		}
+		for _, src := range sc.Sources {
+			add(src, src.PacketRate)
+		}
+		fmt.Printf("scenario %q: %s\n", sc.Name, sc.Description)
+	} else {
+		add(excite.NewWiFi11nSource(), *wifiRate)
+		add(excite.NewBLEAdvSource(), *bleRate)
+		add(excite.NewZigBeeSource(), *zigRate)
+	}
+
+	cfg := sim.Config{
+		Sources:           sources,
+		ReceiverDistanceM: *distance,
+		Span:              *span,
+		Seed:              *seed,
+	}
+	if *lux > 0 {
+		cfg.Energy = &sim.EnergyConfig{Lux: *lux, StartCharged: true}
+	}
+	if *single != "" {
+		p, err := parseProtocol(*single)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mssim:", err)
+			os.Exit(2)
+		}
+		cfg.Tag.Supported = []radio.Protocol{p}
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mssim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("deployment: %v span, receiver at %.1f m", *span, *distance)
+	if *lux > 0 {
+		fmt.Printf(", %g lux harvesting (%d rounds)", *lux, res.EnergyRounds)
+	}
+	fmt.Println()
+	fmt.Printf("%-10s %8s %10s %9s %9s %8s %8s %11s\n",
+		"protocol", "packets", "delivered", "collided", "misident", "asleep", "unsupp", "tag bits")
+	for _, p := range radio.Protocols {
+		s := res.PerProtocol[p]
+		if s == nil || s.Packets == 0 {
+			continue
+		}
+		fmt.Printf("%-10v %8d %10d %9d %9d %8d %8d %11d\n",
+			p, s.Packets,
+			s.Outcomes[sim.Delivered], s.Outcomes[sim.Collided],
+			s.Outcomes[sim.Misidentified], s.Outcomes[sim.TagAsleep],
+			s.Outcomes[sim.Unsupported], s.TagBits)
+	}
+	fmt.Printf("\ntag throughput: %.1f kbps (busy %.0f%% of awake packets)\n",
+		res.TagKbps, res.BusyFraction*100)
+
+	// Throughput timeline as a sparkline-style bar chart.
+	maxKbps := 0.0
+	for _, v := range res.Buckets {
+		if v > maxKbps {
+			maxKbps = v
+		}
+	}
+	if maxKbps > 0 {
+		fmt.Printf("timeline (%v buckets, max %.0f kbps):\n", res.BucketDur, maxKbps)
+		var sb strings.Builder
+		marks := []rune(" ▁▂▃▄▅▆▇█")
+		for _, v := range res.Buckets {
+			idx := int(v / maxKbps * float64(len(marks)-1))
+			sb.WriteRune(marks[idx])
+		}
+		fmt.Printf("  |%s|\n", sb.String())
+	}
+}
+
+func parseProtocol(s string) (radio.Protocol, error) {
+	switch s {
+	case "ble":
+		return radio.ProtocolBLE, nil
+	case "zigbee":
+		return radio.ProtocolZigBee, nil
+	case "11b":
+		return radio.Protocol80211b, nil
+	case "11n":
+		return radio.Protocol80211n, nil
+	default:
+		return radio.ProtocolUnknown, fmt.Errorf("unknown protocol %q", s)
+	}
+}

@@ -1,0 +1,65 @@
+// Diversity: the paper's Figure 18a scenario. 802.11b and 802.11n
+// excitations alternate in 50% duty-cycled windows. A multiscatter tag
+// identifies whichever carrier is on and keeps transmitting; an
+// 802.11n-only tag idles whenever its protocol is absent. The example
+// walks a timeline second by second and prints each tag's activity and
+// cumulative throughput.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"multiscatter"
+)
+
+func main() {
+	los := multiscatter.NewLoSChannel()
+	linkB := multiscatter.NewLink(multiscatter.Protocol80211b, los)
+	linkN := multiscatter.NewLink(multiscatter.Protocol80211n, los)
+	trB := multiscatter.DefaultTraffic(multiscatter.Protocol80211b)
+	trN := multiscatter.DefaultTraffic(multiscatter.Protocol80211n)
+	const d = 2.0 // metres from tag to receiver
+
+	rateB := linkB.Throughput(d, multiscatter.Mode1, trB).TagKbps
+	rateN := linkN.Throughput(d, multiscatter.Mode1, trN).TagKbps
+
+	// Verify both tags exist and identify correctly (the multiscatter
+	// tag supports all four protocols; the single-protocol tag only
+	// 802.11n).
+	if _, err := multiscatter.NewTag(multiscatter.TagConfig{}); err != nil {
+		log.Fatal(err)
+	}
+	single, err := multiscatter.NewTag(multiscatter.TagConfig{
+		Only: []multiscatter.Protocol{multiscatter.Protocol80211n},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("t(s)  carrier   multiscatter      802.11n-only")
+	var multiKb, singleKb float64
+	const period = 10 * time.Second
+	for t := 0 * time.Second; t < period; t += time.Second {
+		// 802.11b on for the first half of each period, 802.11n the
+		// second half.
+		carrier := multiscatter.Protocol80211b
+		rate := rateB
+		if t >= period/2 {
+			carrier = multiscatter.Protocol80211n
+			rate = rateN
+		}
+		multiKb += rate
+		act := "tx " + fmt.Sprintf("%5.1f kbps", rate)
+		sact := "idle"
+		if single.CanUse(carrier) {
+			singleKb += rate
+			sact = act
+		}
+		fmt.Printf("%3d   %-8v  %-16s  %s\n", int(t.Seconds()), carrier, act, sact)
+	}
+	fmt.Printf("\ntotals over %v: multiscatter %.0f kb, single-protocol %.0f kb (%.1f× gain)\n",
+		period, multiKb, singleKb, multiKb/singleKb)
+	fmt.Println("the multiscatter tag is busy 100% of the time; the single-protocol tag idles 50%")
+}

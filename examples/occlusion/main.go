@@ -1,0 +1,59 @@
+// Occlusion: the paper's Figure 15 scenario. A drywall occludes the
+// ORIGINAL channel (excitation → original receiver). Two-receiver systems
+// (Hitchhike, FreeRider) must decode the original packet to XOR-recover
+// tag data, so they collapse; multiscatter's overlay modulation compares
+// reference and modulatable units inside the SAME backscattered packet,
+// so the wall does not matter.
+//
+// The example also demonstrates the mechanism at waveform level: it
+// builds an 802.11b overlay carrier, modulates tag data, and decodes it
+// without ever touching an original-channel packet.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"multiscatter"
+	"multiscatter/internal/channel"
+)
+
+func main() {
+	fmt.Println("Figure 15 — tag throughput with drywall on the original channel")
+	for _, r := range multiscatter.RunOcclusion() {
+		bar := ""
+		for i := 0; i < int(r.TagKbps/4); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  %-22s %7.1f kbps %s\n", r.System, r.TagKbps, bar)
+	}
+
+	fmt.Println("\nmechanism: single-packet decoding on an 802.11b overlay carrier")
+	productive := []byte{1, 0, 1, 1}
+	plan, err := multiscatter.NewPlan(multiscatter.Protocol80211b, multiscatter.Mode1, productive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	codec, err := multiscatter.NewCodec(multiscatter.Protocol80211b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	carrier, err := codec.Build(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tagBits := []byte{1, 0, 0, 1}
+	codec.ApplyTag(carrier, tagBits)
+	// The backscatter channel is clear; the (hypothetical) original
+	// channel could be behind any wall — overlay decoding never needs it.
+	channel.AWGN(carrier.Waveform.IQ, 15, rand.New(rand.NewSource(3)))
+	res, err := codec.Decode(carrier)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pe, te := res.BitErrors(plan, tagBits)
+	fmt.Printf("  decoded productive %v (errors %d), tag %v (errors %d)\n",
+		res.Productive, pe, res.Tag, te)
+	fmt.Println("  → both streams recovered from one packet on one receiver")
+}

@@ -1,0 +1,62 @@
+// Quickstart: the minimal multiscatter pipeline. A BLE excitation carries
+// productive data in overlay mode 1; the tag identifies the protocol and
+// modulates sensor bits on top; a single commodity BLE receiver decodes
+// both streams from the same packet.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"multiscatter"
+	"multiscatter/internal/channel"
+)
+
+func main() {
+	// Build a multiscatter tag with the paper's recommended operating
+	// point: 2.5 Msps quantized ordered matching, 40 µs window.
+	tag, err := multiscatter.NewTag(multiscatter.TagConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The excitation device spreads its own (productive) data into
+	// modulatable sequences — one bit per sequence in mode 1.
+	productive := []byte{1, 0, 1, 1, 0, 0, 1, 0}
+	plan, err := multiscatter.NewPlan(multiscatter.ProtocolBLE, multiscatter.Mode1, productive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	codec := tag.Codecs[multiscatter.ProtocolBLE]
+	carrier, err := codec.Build(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("excitation: BLE carrier, %d sequences (κ=%d, γ=%d), %d tag-bit capacity\n",
+		plan.Sequences, plan.Kappa, plan.Gamma, plan.TagCapacity())
+
+	// The tag's sensor reading.
+	sensor := []byte{1, 1, 0, 1, 0, 0, 1, 0}[:plan.TagCapacity()]
+
+	// The tag identifies the excitation from its envelope, then overlays
+	// the sensor bits by FSK-shifting modulatable units.
+	proto, modulated, err := tag.Backscatter(carrier, sensor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tag:        identified %v, modulated=%v\n", proto, modulated)
+
+	// 20 dB of channel noise on the way to the receiver.
+	channel.AWGN(carrier.Waveform.IQ, 20, rand.New(rand.NewSource(7)))
+
+	// One commodity radio decodes BOTH the productive data (reference
+	// units) and the tag data (unit comparisons) from the same packet.
+	result, err := codec.Decode(carrier)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pe, te := result.BitErrors(plan, sensor)
+	fmt.Printf("receiver:   productive %v (errors %d)\n", result.Productive, pe)
+	fmt.Printf("            tag        %v (errors %d)\n", result.Tag, te)
+}

@@ -1,0 +1,3 @@
+module multiscatter
+
+go 1.22

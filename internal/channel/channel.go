@@ -1,0 +1,172 @@
+// Package channel models RF propagation for the multiscatter experiments:
+// log-distance path loss at 2.4 GHz, wall occlusion, log-normal shadowing,
+// additive white Gaussian noise, and the dyadic (two-segment) backscatter
+// link budget. Distances are metres, powers dBm, losses dB.
+package channel
+
+import (
+	"math"
+	"math/rand"
+
+	"multiscatter/internal/dsp"
+)
+
+// Material identifies an occluding wall type from the paper's occlusion
+// experiments (Figures 9 and 15).
+type Material int
+
+const (
+	// NoWall means a clear path.
+	NoWall Material = iota
+	// Drywall is the thin drywall of Figure 15.
+	Drywall
+	// Wood is the wooden wall of Figure 9a.
+	Wood
+	// Concrete is the concrete wall of Figure 9a.
+	Concrete
+)
+
+// LossDB returns the one-pass attenuation of the material at 2.4 GHz.
+// Values follow common indoor propagation surveys.
+func (m Material) LossDB() float64 {
+	switch m {
+	case Drywall:
+		return 2.5
+	case Wood:
+		return 6
+	case Concrete:
+		return 13
+	default:
+		return 0
+	}
+}
+
+// String names the material.
+func (m Material) String() string {
+	switch m {
+	case NoWall:
+		return "none"
+	case Drywall:
+		return "drywall"
+	case Wood:
+		return "wood"
+	case Concrete:
+		return "concrete"
+	default:
+		return "material?"
+	}
+}
+
+// Model is a log-distance path-loss channel.
+type Model struct {
+	// RefLossDB is the path loss at 1 m. Free space at 2.4 GHz is
+	// 20·log10(4π·1m/λ) ≈ 40.05 dB.
+	RefLossDB float64
+	// Exponent is the distance exponent (2.0 free space / hallway LoS).
+	Exponent float64
+	// Wall occludes the path once.
+	Wall Material
+	// ShadowSigmaDB is the standard deviation of log-normal shadowing;
+	// zero disables it.
+	ShadowSigmaDB float64
+	// Rand supplies shadowing randomness; nil uses a fixed subsequence.
+	Rand *rand.Rand
+}
+
+// NewLoS returns the line-of-sight hallway channel of Figure 13.
+func NewLoS() *Model {
+	return &Model{RefLossDB: 40.05, Exponent: 2.0}
+}
+
+// NewNLoS returns the non-line-of-sight office channel of Figure 14: the
+// LoS model plus one drywall in the path.
+func NewNLoS() *Model {
+	return &Model{RefLossDB: 40.05, Exponent: 2.0, Wall: Drywall}
+}
+
+// PathLossDB returns the path loss over distance d in metres. Distances
+// below 0.1 m are clamped to avoid near-field singularities.
+func (m *Model) PathLossDB(d float64) float64 {
+	if d < 0.1 {
+		d = 0.1
+	}
+	loss := m.RefLossDB + 10*m.Exponent*math.Log10(d) + m.Wall.LossDB()
+	if m.ShadowSigmaDB > 0 && m.Rand != nil {
+		loss += m.Rand.NormFloat64() * m.ShadowSigmaDB
+	}
+	return loss
+}
+
+// Received returns the received power in dBm for a transmit power txDBm
+// over distance d.
+func (m *Model) Received(txDBm, d float64) float64 {
+	return txDBm - m.PathLossDB(d)
+}
+
+// BackscatterLink is the dyadic excitation→tag→receiver link.
+type BackscatterLink struct {
+	// Forward is the excitation→tag channel.
+	Forward *Model
+	// Backward is the tag→receiver channel.
+	Backward *Model
+	// TagLossDB is the backscatter conversion loss at the tag: antenna
+	// re-radiation efficiency plus modulation loss (single-sideband
+	// square-wave mixing alone costs ≈ 3.9 dB; total is typically 6–10).
+	TagLossDB float64
+}
+
+// NewBackscatterLink returns a link with both segments using the given
+// channel model and the paper-calibrated 8 dB tag conversion loss.
+func NewBackscatterLink(m *Model) *BackscatterLink {
+	return &BackscatterLink{Forward: m, Backward: m, TagLossDB: 8}
+}
+
+// RSSI returns the backscatter signal strength at the receiver for an
+// excitation of txDBm, tag at dFwd metres from the exciter and receiver
+// at dBack metres from the tag.
+func (l *BackscatterLink) RSSI(txDBm, dFwd, dBack float64) float64 {
+	return txDBm - l.Forward.PathLossDB(dFwd) - l.TagLossDB - l.Backward.PathLossDB(dBack)
+}
+
+// TagInputDBm returns the excitation power arriving at the tag — the
+// quantity the rectifier and energy harvester see.
+func (l *BackscatterLink) TagInputDBm(txDBm, dFwd float64) float64 {
+	return txDBm - l.Forward.PathLossDB(dFwd)
+}
+
+// NoiseFloorDBm returns the thermal noise floor for a receiver of the
+// given bandwidth (Hz) and noise figure (dB): −174 dBm/Hz + 10·log10(BW)
+// + NF.
+func NoiseFloorDBm(bandwidthHz, noiseFigureDB float64) float64 {
+	return -174 + 10*math.Log10(bandwidthHz) + noiseFigureDB
+}
+
+// AWGN adds complex white Gaussian noise to iq in place so the resulting
+// per-sample SNR is snrDB relative to the signal's current mean power.
+// It returns iq. A nil rng uses math/rand's global source; pass a seeded
+// rng for reproducibility.
+func AWGN(iq []complex128, snrDB float64, rng *rand.Rand) []complex128 {
+	p := dsp.Power(iq)
+	if p <= 0 {
+		return iq
+	}
+	noiseP := p / dsp.FromDB10(snrDB)
+	sigma := math.Sqrt(noiseP / 2)
+	if rng == nil {
+		for i := range iq {
+			iq[i] += complex(rand.NormFloat64()*sigma, rand.NormFloat64()*sigma)
+		}
+		return iq
+	}
+	for i := range iq {
+		iq[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	return iq
+}
+
+// ScaleToPower scales iq in place so its mean power corresponds to the
+// given received power in dBm (1 mW ↔ unit mean power under the
+// simulator's normalized impedance convention).
+func ScaleToPower(iq []complex128, dbm float64) []complex128 {
+	return dsp.NormalizePower(iq, dsp.DBmToWatts(dbm)*1e3)
+}

@@ -1,0 +1,220 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multiscatter/internal/dsp"
+)
+
+func TestPathLossMonotone(t *testing.T) {
+	m := NewLoS()
+	prev := m.PathLossDB(0.5)
+	for d := 1.0; d <= 50; d += 0.5 {
+		cur := m.PathLossDB(d)
+		if cur <= prev {
+			t.Fatalf("path loss not monotone at %v m", d)
+		}
+		prev = cur
+	}
+}
+
+func TestPathLossReference(t *testing.T) {
+	m := NewLoS()
+	// At 1 m the loss is the reference loss.
+	if got := m.PathLossDB(1); math.Abs(got-40.05) > 1e-9 {
+		t.Fatalf("PL(1m) = %v", got)
+	}
+	// Exponent 2: +20 dB per decade.
+	if got := m.PathLossDB(10) - m.PathLossDB(1); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("decade slope = %v", got)
+	}
+	// Near-field clamp.
+	if m.PathLossDB(0.01) != m.PathLossDB(0.1) {
+		t.Fatal("near-field not clamped")
+	}
+}
+
+func TestNLoSAddsWall(t *testing.T) {
+	lo := NewLoS()
+	nl := NewNLoS()
+	d := 10.0
+	if got := nl.PathLossDB(d) - lo.PathLossDB(d); math.Abs(got-Drywall.LossDB()) > 1e-9 {
+		t.Fatalf("NLoS extra loss = %v, want drywall %v", got, Drywall.LossDB())
+	}
+}
+
+func TestMaterialOrdering(t *testing.T) {
+	if !(NoWall.LossDB() < Drywall.LossDB() &&
+		Drywall.LossDB() < Wood.LossDB() &&
+		Wood.LossDB() < Concrete.LossDB()) {
+		t.Fatal("material losses not ordered")
+	}
+	for _, m := range []Material{NoWall, Drywall, Wood, Concrete, Material(9)} {
+		if m.String() == "" {
+			t.Fatal("empty material name")
+		}
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	m := &Model{RefLossDB: 40, Exponent: 2, ShadowSigmaDB: 4, Rand: rand.New(rand.NewSource(1))}
+	// Shadowed losses vary; their std dev should be near 4 dB.
+	var vals []float64
+	for i := 0; i < 2000; i++ {
+		vals = append(vals, m.PathLossDB(10))
+	}
+	sd := dsp.StdDevFloat(vals)
+	if sd < 3.5 || sd > 4.5 {
+		t.Fatalf("shadowing σ = %v, want ≈4", sd)
+	}
+	// Nil Rand disables shadowing even with σ set.
+	m2 := &Model{RefLossDB: 40, Exponent: 2, ShadowSigmaDB: 4}
+	if m2.PathLossDB(10) != m2.PathLossDB(10) || m2.PathLossDB(10) != 60 {
+		t.Fatal("nil Rand should be deterministic")
+	}
+}
+
+func TestBackscatterLinkBudget(t *testing.T) {
+	l := NewBackscatterLink(NewLoS())
+	// Paper setup: 30 dBm TX, tag 0.8 m away. RSSI at 28 m should land
+	// near −85 dBm — the WiFi decode edge in Figure 13.
+	rssi := l.RSSI(30, 0.8, 28)
+	if rssi > -80 || rssi < -90 {
+		t.Fatalf("RSSI(28 m) = %v dBm, want ≈ −85", rssi)
+	}
+	// Symmetry of the dyadic link.
+	if got, want := l.RSSI(30, 2, 5), l.RSSI(30, 5, 2); math.Abs(got-want) > 1e-9 {
+		t.Fatal("dyadic link should be symmetric in segment order")
+	}
+	// Tag input power: 30 dBm over 0.8 m ≈ −8.1 dBm (40.05 dB at 1 m,
+	// −1.94 dB for the 0.8 m distance), comfortably above the −13 dBm
+	// tag sensitivity.
+	in := l.TagInputDBm(30, 0.8)
+	if in < -9 || in > -7 {
+		t.Fatalf("tag input = %v dBm", in)
+	}
+}
+
+func TestNoiseFloor(t *testing.T) {
+	// 20 MHz, 7 dB NF → ≈ −94 dBm.
+	if got := NoiseFloorDBm(20e6, 7); math.Abs(got+94) > 0.1 {
+		t.Fatalf("20 MHz floor = %v", got)
+	}
+	// 1 MHz BLE → ≈ −107 dBm.
+	if got := NoiseFloorDBm(1e6, 7); math.Abs(got+107) > 0.1 {
+		t.Fatalf("1 MHz floor = %v", got)
+	}
+}
+
+func TestAWGNSetsSNR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 50000
+	iq := make([]complex128, n)
+	for i := range iq {
+		iq[i] = 1 // unit-power signal
+	}
+	AWGN(iq, 10, rng)
+	// Mean power should now be 1 + 0.1.
+	if p := dsp.Power(iq); math.Abs(p-1.1) > 0.02 {
+		t.Fatalf("power after AWGN = %v, want ≈1.1", p)
+	}
+	// Zero signal untouched.
+	z := make([]complex128, 4)
+	AWGN(z, 10, rng)
+	for _, v := range z {
+		if v != 0 {
+			t.Fatal("zero-power signal should be unchanged")
+		}
+	}
+}
+
+func TestAWGNGlobalSource(t *testing.T) {
+	iq := []complex128{1, 1, 1, 1}
+	AWGN(iq, 20, nil) // must not panic with nil rng
+	if dsp.Power(iq) == 1 {
+		t.Fatal("noise not added")
+	}
+}
+
+func TestScaleToPower(t *testing.T) {
+	iq := []complex128{2, 2i, -2, -2i}
+	ScaleToPower(iq, 0) // 0 dBm ↔ mean power 1
+	if p := dsp.Power(iq); math.Abs(p-1) > 1e-9 {
+		t.Fatalf("power = %v, want 1", p)
+	}
+	ScaleToPower(iq, -30) // −30 dBm ↔ 1e-3
+	if p := dsp.Power(iq); math.Abs(p-1e-3) > 1e-12 {
+		t.Fatalf("power = %v, want 1e-3", p)
+	}
+}
+
+func TestPropertyReceivedDecreasesWithDistance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := &Model{RefLossDB: 40, Exponent: 1.6 + rng.Float64()*2}
+		d1 := 0.5 + rng.Float64()*10
+		d2 := d1 + 0.5 + rng.Float64()*10
+		return m.Received(20, d2) < m.Received(20, d1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipathUnitPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewIndoorMultipath(rng, 50e-9, 20e6)
+	var p float64
+	for _, tap := range m.Taps {
+		p += real(tap)*real(tap) + imag(tap)*imag(tap)
+	}
+	if math.Abs(p-1) > 1e-9 {
+		t.Fatalf("tap power = %v, want 1", p)
+	}
+	if len(m.Taps) < 2 {
+		t.Fatal("indoor channel should have echoes")
+	}
+	// Degenerate parameters give a clean single-tap channel.
+	flat := NewIndoorMultipath(rng, 0, 20e6)
+	if len(flat.Taps) != 1 || flat.Taps[0] != 1 {
+		t.Fatalf("flat channel = %v", flat.Taps)
+	}
+	// Nil rng must not panic.
+	if NewIndoorMultipath(nil, 50e-9, 20e6) == nil {
+		t.Fatal("nil rng")
+	}
+}
+
+func TestMultipathApply(t *testing.T) {
+	m := &Multipath{Taps: []complex128{1, 0.5}}
+	in := []complex128{1, 0, 0, 0}
+	out := m.Apply(in)
+	if out[0] != 1 || out[1] != 0.5 || out[2] != 0 {
+		t.Fatalf("impulse response = %v", out)
+	}
+	if len(out) != len(in) {
+		t.Fatal("length changed")
+	}
+	// Empty taps copy the input.
+	e := (&Multipath{}).Apply(in)
+	if e[0] != 1 {
+		t.Fatal("empty-channel copy wrong")
+	}
+}
+
+func TestMultipathCoherenceBandwidth(t *testing.T) {
+	// A single tap has infinite coherence bandwidth.
+	if !math.IsInf((&Multipath{Taps: []complex128{1}}).CoherenceBandwidthHz(20e6), 1) {
+		t.Fatal("flat channel should have infinite coherence bandwidth")
+	}
+	// Longer spread → smaller coherence bandwidth.
+	rng := rand.New(rand.NewSource(4))
+	short := NewIndoorMultipath(rng, 25e-9, 20e6)
+	long := NewIndoorMultipath(rng, 200e-9, 20e6)
+	if !(long.CoherenceBandwidthHz(20e6) < short.CoherenceBandwidthHz(20e6)) {
+		t.Fatal("coherence bandwidth not decreasing with delay spread")
+	}
+}

@@ -1,0 +1,428 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"multiscatter/internal/analog"
+	"multiscatter/internal/channel"
+	"multiscatter/internal/overlay"
+	"multiscatter/internal/radio"
+)
+
+func TestLoSMaxRangesMatchPaper(t *testing.T) {
+	// Figure 13a: maximum LoS backscatter ranges 28 m (WiFi), 22 m
+	// (ZigBee), 20 m (BLE). Allow ±2 m of calibration slack.
+	los := channel.NewLoS()
+	want := map[radio.Protocol]float64{
+		radio.Protocol80211b: 28,
+		radio.Protocol80211n: 28,
+		radio.ProtocolZigBee: 22,
+		radio.ProtocolBLE:    20,
+	}
+	for p, w := range want {
+		got := NewLink(p, los).MaxRange(0.5, 40)
+		if math.Abs(got-w) > 2 {
+			t.Errorf("%v LoS range = %v m, want ≈%v", p, got, w)
+		}
+	}
+}
+
+func TestNLoSMaxRangesMatchPaper(t *testing.T) {
+	// Figure 14a: NLoS ranges 22 m (WiFi), 18 m (ZigBee), 16 m (BLE),
+	// with ±2.5 m slack.
+	nlos := channel.NewNLoS()
+	want := map[radio.Protocol]float64{
+		radio.Protocol80211b: 22,
+		radio.ProtocolZigBee: 18,
+		radio.ProtocolBLE:    16,
+	}
+	for p, w := range want {
+		got := NewLink(p, nlos).MaxRange(0.5, 40)
+		if math.Abs(got-w) > 2.5 {
+			t.Errorf("%v NLoS range = %v m, want ≈%v", p, got, w)
+		}
+	}
+	// NLoS ranges must be strictly shorter than LoS.
+	los := channel.NewLoS()
+	for p := range want {
+		if NewLink(p, nlos).MaxRange(0.5, 40) >= NewLink(p, los).MaxRange(0.5, 40) {
+			t.Errorf("%v NLoS range not below LoS", p)
+		}
+	}
+}
+
+func TestRangeSweepShapes(t *testing.T) {
+	// Figure 13: RSSI decreases with distance; BER stays low to 16 m
+	// then rises; throughput collapses past the max range.
+	los := channel.NewLoS()
+	for _, p := range radio.Protocols {
+		pts := RangeSweep(p, los, 30, 1)
+		if len(pts) != 30 {
+			t.Fatalf("%v: %d points", p, len(pts))
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].RSSIdBm > pts[i-1].RSSIdBm {
+				t.Fatalf("%v: RSSI increased at %v m", p, pts[i].DistanceM)
+			}
+			if pts[i].TagBER+1e-12 < pts[i-1].TagBER {
+				t.Fatalf("%v: BER decreased with distance at %v m", p, pts[i].DistanceM)
+			}
+		}
+		// Low BER at 16 m (the paper's "still low at 16 m" observation).
+		if pts[15].TagBER > 0.05 {
+			t.Errorf("%v: BER at 16 m = %v, want < 0.05", p, pts[15].TagBER)
+		}
+		// Dead past 35 m — checked via MaxRangeOf bound.
+		if MaxRangeOf(pts) > 30 {
+			t.Errorf("%v: range beyond sweep", p)
+		}
+	}
+}
+
+func TestFig13ThroughputOrdering(t *testing.T) {
+	// Close-range aggregates order BLE > 11b > 11n > ZigBee.
+	los := channel.NewLoS()
+	get := func(p radio.Protocol) float64 {
+		return NewLink(p, los).Throughput(2, overlay.Mode1, overlay.DefaultTraffic(p)).Aggregate()
+	}
+	ble := get(radio.ProtocolBLE)
+	b := get(radio.Protocol80211b)
+	n := get(radio.Protocol80211n)
+	z := get(radio.ProtocolZigBee)
+	if !(ble > b && b > n && n > z) {
+		t.Fatalf("ordering violated: %v %v %v %v", ble, b, n, z)
+	}
+}
+
+func TestDownlinkRange(t *testing.T) {
+	// §2.2.1: ≈0.9 m downlink range at 30 dBm TX, 0.15 V threshold.
+	got := DownlinkRange(analog.NewMultiscatterRectifier(), channel.NewLoS())
+	if got < 0.5 || got > 1.5 {
+		t.Fatalf("downlink range = %v m, want ≈0.9", got)
+	}
+	// The basic rectifier reaches much less.
+	basic := DownlinkRange(analog.NewBasicRectifier(), channel.NewLoS())
+	if basic >= got {
+		t.Fatalf("basic rectifier range %v should be below clamped %v", basic, got)
+	}
+}
+
+func TestIdentificationFig5Regime(t *testing.T) {
+	// 20 Msps full precision: ≥0.97 average accuracy (paper: 0.997).
+	c, _, err := RunIdentification(IdentifyOptions{
+		ADCRate: 20e6, Ordered: true, Trials: 15, SNRLoDB: 12, SNRHiDB: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := c.Average(); acc < 0.95 {
+		t.Fatalf("20 Msps accuracy = %v, want ≥ 0.95\n%s", acc, c)
+	}
+}
+
+func TestIdentificationOrderedBeatsBlind(t *testing.T) {
+	// Figure 7: at 10 Msps quantized, ordered matching beats blind.
+	opts := IdentifyOptions{ADCRate: 10e6, Quantized: true, Trials: 25, Seed: 3, SNRLoDB: 6, SNRHiDB: 18}
+	opts.Ordered = true
+	ordered, _, err := RunIdentification(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Ordered = false
+	blind, _, err := RunIdentification(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ordered.Average() < blind.Average() {
+		t.Fatalf("ordered %v should be ≥ blind %v", ordered.Average(), blind.Average())
+	}
+	if ordered.Average() < 0.85 {
+		t.Fatalf("ordered accuracy %v too low", ordered.Average())
+	}
+}
+
+func TestIdentificationFig8WindowExtension(t *testing.T) {
+	// Figure 8: at 2.5 Msps the extended window rescues accuracy.
+	base := IdentifyOptions{ADCRate: 2.5e6, Quantized: true, Ordered: true, Trials: 25, Seed: 5}
+	short, _, err := RunIdentification(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Extended = true
+	ext, _, err := RunIdentification(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ext.Average() > short.Average()) {
+		t.Fatalf("extended %v not above short %v", ext.Average(), short.Average())
+	}
+	if ext.Average() < 0.85 {
+		t.Fatalf("extended accuracy %v, want ≥ 0.85 (paper: 0.93)", ext.Average())
+	}
+}
+
+func TestTuneThresholdsImproves(t *testing.T) {
+	opts := IdentifyOptions{ADCRate: 10e6, Quantized: true, Trials: 20, Seed: 7}.withDefaults()
+	traces, err := collectScores(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := map[radio.Protocol]float64{}
+	tuned := TuneThresholds(traces, true)
+	accDef := confusionOf(traces, true, def).Average()
+	accTuned := confusionOf(traces, true, tuned).Average()
+	if accTuned+1e-9 < accDef {
+		t.Fatalf("tuning regressed: %v < %v", accTuned, accDef)
+	}
+}
+
+func TestRunTradeoffsFig12(t *testing.T) {
+	res := RunTradeoffs()
+	if len(res) != 12 {
+		t.Fatalf("rows = %d, want 12", len(res))
+	}
+	byKey := map[radio.Protocol]map[overlay.Mode]overlay.Throughput{}
+	for _, r := range res {
+		if byKey[r.Protocol] == nil {
+			byKey[r.Protocol] = map[overlay.Mode]overlay.Throughput{}
+		}
+		byKey[r.Protocol][r.Mode] = r.Throughput
+	}
+	for _, p := range radio.Protocols {
+		m1, m2, m3 := byKey[p][overlay.Mode1], byKey[p][overlay.Mode2], byKey[p][overlay.Mode3]
+		// Mode 1 balanced.
+		if m1.ProductiveKbps <= 0 || math.Abs(m1.ProductiveKbps-m1.TagKbps)/m1.ProductiveKbps > 0.05 {
+			t.Errorf("%v mode1 unbalanced: %+v", p, m1)
+		}
+		// Mode 2: tag ≈ 3× productive.
+		if r := m2.TagKbps / m2.ProductiveKbps; math.Abs(r-3) > 0.1 {
+			t.Errorf("%v mode2 ratio = %v", p, r)
+		}
+		// Mode 3: productive collapses, tag maximal.
+		if !(m3.TagKbps > m2.TagKbps && m3.ProductiveKbps < m1.ProductiveKbps/4) {
+			t.Errorf("%v mode3 shape wrong: %+v", p, m3)
+		}
+	}
+}
+
+func TestRunOcclusionFig15(t *testing.T) {
+	res := RunOcclusion()
+	if len(res) != 4 {
+		t.Fatalf("rows = %d", len(res))
+	}
+	vals := map[string]float64{}
+	for _, r := range res {
+		vals[r.System] = r.TagKbps
+	}
+	// Paper: multiscatter (136/121) > Hitchhike (94) > FreeRider (33).
+	if !(vals["multiscatter BLE"] > vals["Hitchhike"]) {
+		t.Errorf("multiscatter BLE %v not above Hitchhike %v", vals["multiscatter BLE"], vals["Hitchhike"])
+	}
+	if !(vals["multiscatter 802.11b"] > vals["Hitchhike"]) {
+		t.Errorf("multiscatter 11b %v not above Hitchhike %v", vals["multiscatter 802.11b"], vals["Hitchhike"])
+	}
+	if !(vals["Hitchhike"] > vals["FreeRider"]) {
+		t.Errorf("Hitchhike %v not above FreeRider %v", vals["Hitchhike"], vals["FreeRider"])
+	}
+	if vals["FreeRider"] <= 0 {
+		t.Error("FreeRider should be positive")
+	}
+}
+
+func TestRunCollisionsFig16(t *testing.T) {
+	timeDom, freqDom := RunCollisions(11)
+	// Figure 16b: BLE collapses (278 → 92-class drop ≥ 50%), 802.11n
+	// barely moves (< 10%).
+	var wifiT, bleT CollisionResult
+	for _, r := range timeDom {
+		if r.Protocol == radio.Protocol80211n {
+			wifiT = r
+		} else {
+			bleT = r
+		}
+	}
+	if bleLoss := 1 - bleT.CollidedKbps/bleT.AloneKbps; bleLoss < 0.5 {
+		t.Errorf("BLE collision loss = %v, want ≥ 0.5", bleLoss)
+	}
+	if wifiLoss := 1 - wifiT.CollidedKbps/wifiT.AloneKbps; wifiLoss > 0.1 {
+		t.Errorf("802.11n collision loss = %v, want ≤ 0.1", wifiLoss)
+	}
+	// Figure 16d: neither 802.11n nor ZigBee loses much (sparse in time).
+	for _, r := range freqDom {
+		if loss := 1 - r.CollidedKbps/r.AloneKbps; loss > 0.25 {
+			t.Errorf("%v freq-domain loss = %v, want small", r.Protocol, loss)
+		}
+	}
+}
+
+func TestRunDiversityFig18a(t *testing.T) {
+	res := RunDiversity()
+	if res.MultiBusyFrac != 1 || res.SingleBusyFrac != 0.5 {
+		t.Fatalf("busy fractions = %v / %v", res.MultiBusyFrac, res.SingleBusyFrac)
+	}
+	if !(res.MultiKbps > 1.5*res.SingleKbps) {
+		t.Fatalf("multiscatter %v should far exceed single-protocol %v", res.MultiKbps, res.SingleKbps)
+	}
+}
+
+func TestRunCarrierPickFig18b(t *testing.T) {
+	res := RunCarrierPick()
+	if res.Picked != radio.Protocol80211n {
+		t.Fatalf("picked %v, want 802.11n", res.Picked)
+	}
+	if !res.MeetsTarget {
+		t.Fatalf("multiscatter should meet the %v kbps target (picked %v kbps)",
+			BraceletGoodputKbps, res.PickedKbps)
+	}
+	if res.SingleMeets {
+		t.Fatalf("802.11b-only tag (%v kbps) should fail the target", res.SingleKbps)
+	}
+}
+
+func TestRunBaselineFailureFig9(t *testing.T) {
+	bers, offsets := RunBaselineFailure()
+	if len(bers) != 6 {
+		t.Fatalf("rows = %d", len(bers))
+	}
+	for _, sys := range []string{"Hitchhike", "FreeRider"} {
+		var none, concrete float64
+		for _, b := range bers {
+			if b.System != sys {
+				continue
+			}
+			switch b.Wall {
+			case channel.NoWall:
+				none = b.TagBER
+			case channel.Concrete:
+				concrete = b.TagBER
+			}
+		}
+		if !(none < 0.05 && concrete > 0.4) {
+			t.Errorf("%s: none=%v concrete=%v, want ≪0.05 and ≳0.4", sys, none, concrete)
+		}
+	}
+	if offsets.MaxY() != 8 {
+		t.Fatalf("max offset = %v, want 8", offsets.MaxY())
+	}
+}
+
+func TestRunRefModulationFig17(t *testing.T) {
+	res, err := RunRefModulation(-5, 10, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("variants = %d", len(res))
+	}
+	// Figure 17: BERs stable and low (≤ a few %) across all reference
+	// modulations at the working point.
+	for _, r := range res {
+		if r.TagBER > 0.08 {
+			t.Errorf("%s tag BER = %v, want ≤ 0.08", r.Label, r.TagBER)
+		}
+	}
+}
+
+func TestTagPipeline(t *testing.T) {
+	tg, err := NewTag(TagConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := tg.Codecs[radio.ProtocolBLE]
+	plan, err := overlay.NewPlan(radio.ProtocolBLE, overlay.Mode1, []byte{1, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	carrier, err := codec.Build(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagBits := []byte{1, 0, 1, 1}
+	p, modulated, err := tg.Backscatter(carrier, tagBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != radio.ProtocolBLE || !modulated {
+		t.Fatalf("identified %v, modulated %v", p, modulated)
+	}
+	res, err := codec.Decode(carrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, te := res.BitErrors(plan, tagBits)
+	if pe != 0 || te != 0 {
+		t.Fatalf("pipeline errors: productive %d, tag %d", pe, te)
+	}
+}
+
+func TestSingleProtocolTagIgnoresOthers(t *testing.T) {
+	tg, err := NewTag(TagConfig{Only: []radio.Protocol{radio.Protocol80211n}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.CanUse(radio.ProtocolBLE) {
+		t.Fatal("single-protocol tag should not use BLE")
+	}
+	codec := tg.Codecs[radio.ProtocolBLE]
+	plan, _ := overlay.NewPlan(radio.ProtocolBLE, overlay.Mode1, []byte{1, 0})
+	carrier, err := codec.Build(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, modulated, err := tg.Backscatter(carrier, []byte{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != radio.ProtocolBLE {
+		t.Fatalf("identified %v", p)
+	}
+	if modulated {
+		t.Fatal("single-protocol tag must stay idle on a BLE carrier")
+	}
+}
+
+func TestSelectCarrier(t *testing.T) {
+	g := map[radio.Protocol]float64{
+		radio.Protocol80211b: 2,
+		radio.Protocol80211n: 9,
+	}
+	p, ok := SelectCarrier(g, 6.3)
+	if p != radio.Protocol80211n || !ok {
+		t.Fatalf("SelectCarrier = %v %v", p, ok)
+	}
+	p, ok = SelectCarrier(g, 20)
+	if p != radio.Protocol80211n || ok {
+		t.Fatalf("unreachable target: %v %v", p, ok)
+	}
+	if p, ok := SelectCarrier(nil, 1); p != radio.ProtocolUnknown || ok {
+		t.Fatal("empty goodputs should select unknown")
+	}
+}
+
+func TestIdentificationDeterministic(t *testing.T) {
+	// Parallel trace collection must be deterministic: every trace's
+	// randomness derives from its own seed, not scheduling order.
+	opts := IdentifyOptions{ADCRate: 10e6, Quantized: true, Ordered: true, Trials: 10, Seed: 11}
+	a, thrA, err := RunIdentification(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, thrB, err := RunIdentification(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Average() != b.Average() {
+		t.Fatalf("non-deterministic: %v vs %v", a.Average(), b.Average())
+	}
+	for _, p := range radio.Protocols {
+		if thrA[p] != thrB[p] {
+			t.Fatalf("thresholds differ for %v", p)
+		}
+		for _, q := range radio.Protocols {
+			if a.Counts[p][q] != b.Counts[p][q] {
+				t.Fatalf("confusion differs at %v→%v", p, q)
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multiscatter/internal/channel"
+	"multiscatter/internal/dsp"
+	"multiscatter/internal/overlay"
+	"multiscatter/internal/phy/ble"
+	"multiscatter/internal/phy/dsss"
+	"multiscatter/internal/phy/ofdm"
+	"multiscatter/internal/phy/zigbee"
+	"multiscatter/internal/radio"
+)
+
+// Impairments describes what the channel does to a backscattered carrier
+// on its way to the receiver.
+type Impairments struct {
+	// DelaySamples of noise prepended (packet-arrival uncertainty).
+	DelaySamples int
+	// CFOHz is the residual carrier-frequency offset: the tag's
+	// low-power oscillator shifts the backscatter to the adjacent
+	// channel only approximately, so the receiver sees the packet offset
+	// by up to a few tens of kHz.
+	CFOHz float64
+	// SNRdB adds AWGN (0 disables).
+	SNRdB float64
+	// Seed for the noise.
+	Seed int64
+}
+
+// Impair applies the impairments to the carrier in place: the waveform
+// is delayed, rotated and noised; the stored symbol layout keeps its
+// frame-relative meaning (the receiver must re-align).
+func Impair(c *overlay.Carrier, imp Impairments) {
+	rng := rand.New(rand.NewSource(imp.Seed + 99))
+	iq := c.Waveform.IQ
+	if imp.CFOHz != 0 {
+		dsp.Rotate(iq, imp.CFOHz, c.Waveform.Rate, 0)
+	}
+	if imp.DelaySamples > 0 {
+		head := make([]complex128, imp.DelaySamples, imp.DelaySamples+len(iq))
+		for i := range head {
+			head[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * 0.01
+		}
+		iq = append(head, iq...)
+	}
+	if imp.SNRdB != 0 {
+		channel.AWGN(iq, imp.SNRdB, rng)
+	}
+	c.Waveform.IQ = iq
+}
+
+// Receiver recovers frame alignment and center frequency for one
+// protocol before overlay decoding — the processing a commodity radio's
+// front end performs. The brute-force CFO search locates the shifted
+// backscatter channel to within StepHz; the differential 802.11b and
+// discriminator BLE demodulators tolerate that residual, while ZigBee's
+// coherent OQPSK despreader and OFDM's subcarrier grid additionally rely
+// on the hardware AFC / pilot tracking that commodity receivers perform
+// (not modelled here) — drive those protocols with CFO-free carriers.
+type Receiver struct {
+	// Protocol served.
+	Protocol radio.Protocol
+	// SearchHz bounds the brute-force CFO search (±SearchHz); the paper
+	// performs "center-frequency alignment by a brute-force search"
+	// (§2.4.2 footnote). Default ±60 kHz.
+	SearchHz float64
+	// StepHz is the search granularity (default 5 kHz).
+	StepHz float64
+	// MaxDelay bounds the frame-start search in samples (default 2000).
+	MaxDelay int
+}
+
+// NewReceiver returns a receiver with default search bounds.
+func NewReceiver(p radio.Protocol) *Receiver {
+	return &Receiver{Protocol: p, SearchHz: 60e3, StepHz: 5e3, MaxDelay: 2000}
+}
+
+// synchronize dispatches to the protocol's matched-filter sync.
+func (r *Receiver) synchronize(w radio.Waveform) (int, float64) {
+	switch r.Protocol {
+	case radio.Protocol80211b:
+		return dsss.Synchronize(w, dsss.Config{Rate: dsss.Rate1Mbps, NoScramble: true}, r.MaxDelay)
+	case radio.Protocol80211n:
+		return ofdm.Synchronize(w, r.MaxDelay)
+	case radio.ProtocolBLE:
+		return ble.Synchronize(w, ble.Config{NoWhitening: true}, r.MaxDelay)
+	case radio.ProtocolZigBee:
+		return zigbee.Synchronize(w, zigbee.Config{}, r.MaxDelay)
+	default:
+		return -1, 0
+	}
+}
+
+// Recover re-aligns an impaired carrier in place: it brute-force scans
+// candidate CFOs, derotates a probe copy, scores frame sync at each
+// candidate, then applies the best derotation and trims the delay so the
+// overlay codec can decode. It returns the estimated CFO and delay.
+func (r *Receiver) Recover(c *overlay.Carrier) (cfoHz float64, delay int, err error) {
+	if r.Protocol != c.Plan.Protocol {
+		return 0, 0, fmt.Errorf("core: receiver for %v given %v carrier", r.Protocol, c.Plan.Protocol)
+	}
+	rate := c.Waveform.Rate
+	// Probe: enough samples to cover the delay search plus the sync
+	// reference.
+	probeLen := r.MaxDelay + int(rate*300e-6)
+	if probeLen > len(c.Waveform.IQ) {
+		probeLen = len(c.Waveform.IQ)
+	}
+	bestScore := -1.0
+	bestCFO, bestOff := 0.0, -1
+	step := r.StepHz
+	if step <= 0 {
+		step = 5e3
+	}
+	for cand := -r.SearchHz; cand <= r.SearchHz+1; cand += step {
+		probe := dsp.Clone(c.Waveform.IQ[:probeLen])
+		dsp.Rotate(probe, -cand, rate, 0)
+		off, score := r.synchronize(radio.Waveform{IQ: probe, Rate: rate})
+		if off >= 0 && score > bestScore {
+			bestScore, bestCFO, bestOff = score, cand, off
+		}
+	}
+	if bestOff < 0 {
+		return 0, 0, fmt.Errorf("core: no %v frame found within ±%.0f kHz", r.Protocol, r.SearchHz/1e3)
+	}
+	dsp.Rotate(c.Waveform.IQ, -bestCFO, rate, 0)
+	c.Waveform.IQ = c.Waveform.IQ[bestOff:]
+	return bestCFO, bestOff, nil
+}

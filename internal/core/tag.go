@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"multiscatter/internal/overlay"
+	"multiscatter/internal/radio"
+	"multiscatter/internal/tag"
+)
+
+// Tag is a multiscatter tag: a protocol identifier feeding per-protocol
+// overlay codecs, plus the carrier-selection policy of §4.2.
+type Tag struct {
+	// Identifier classifies incoming excitations.
+	Identifier *tag.Identifier
+	// Codecs by protocol.
+	Codecs map[radio.Protocol]overlay.Codec
+	// Mode is the overlay operating mode (default Mode1).
+	Mode overlay.Mode
+	// Supported limits the protocols the tag reacts to; empty means all
+	// four (a single-protocol comparison tag lists exactly one).
+	Supported map[radio.Protocol]bool
+}
+
+// TagConfig configures NewTag.
+type TagConfig struct {
+	// Identifier selects the identification operating point (default:
+	// 2.5 Msps, quantized, extended window, ordered matching — the
+	// paper's recommended configuration).
+	Identifier tag.IdentifierConfig
+	// Mode is the overlay mode (default Mode1).
+	Mode overlay.Mode
+	// Only restricts the tag to the given protocols (a single-protocol
+	// baseline tag names one).
+	Only []radio.Protocol
+}
+
+// NewTag builds a tag.
+func NewTag(cfg TagConfig) (*Tag, error) {
+	idCfg := cfg.Identifier
+	if idCfg.ADCRate == 0 {
+		idCfg = tag.IdentifierConfig{
+			ADCRate:   2.5e6,
+			Quantized: true,
+			Extended:  true,
+			Ordered:   true,
+		}
+	}
+	id, err := tag.NewIdentifier(idCfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tag{
+		Identifier: id,
+		Codecs:     make(map[radio.Protocol]overlay.Codec, 4),
+		Mode:       cfg.Mode,
+		Supported:  map[radio.Protocol]bool{},
+	}
+	if t.Mode == 0 {
+		t.Mode = overlay.Mode1
+	}
+	for _, p := range radio.Protocols {
+		c, err := overlay.NewCodec(p)
+		if err != nil {
+			return nil, err
+		}
+		t.Codecs[p] = c
+	}
+	if len(cfg.Only) == 0 {
+		for _, p := range radio.Protocols {
+			t.Supported[p] = true
+		}
+	} else {
+		for _, p := range cfg.Only {
+			t.Supported[p] = true
+		}
+	}
+	return t, nil
+}
+
+// CanUse reports whether the tag reacts to protocol p.
+func (t *Tag) CanUse(p radio.Protocol) bool { return t.Supported[p] }
+
+// Identify classifies an excitation waveform.
+func (t *Tag) Identify(iq []complex128, rate float64) (radio.Protocol, float64) {
+	return t.Identifier.Identify(iq, rate, true)
+}
+
+// Backscatter runs the full pipeline on one overlay carrier: identify
+// the protocol from the waveform, and if it is supported, modulate the
+// tag bits onto it. It returns the identified protocol and whether the
+// tag modulated.
+func (t *Tag) Backscatter(c *overlay.Carrier, tagBits []byte) (radio.Protocol, bool, error) {
+	p, _ := t.Identify(c.Waveform.IQ, c.Waveform.Rate)
+	if !p.Valid() {
+		return p, false, nil
+	}
+	if p != c.Plan.Protocol {
+		return p, false, fmt.Errorf("core: identified %v but carrier is %v", p, c.Plan.Protocol)
+	}
+	if !t.CanUse(p) {
+		return p, false, nil
+	}
+	t.Codecs[p].ApplyTag(c, tagBits)
+	return p, true, nil
+}
+
+// SelectCarrier implements the intelligent carrier pick of Figure 18b:
+// given the measured backscatter goodput of each available excitation,
+// it returns the protocol with the highest goodput meeting requiredKbps,
+// or the best-effort maximum if none meets it. ok reports whether the
+// requirement is met.
+func SelectCarrier(goodputKbps map[radio.Protocol]float64, requiredKbps float64) (radio.Protocol, bool) {
+	best := radio.ProtocolUnknown
+	var bestRate float64
+	for p, r := range goodputKbps {
+		if r > bestRate || (r == bestRate && best != radio.ProtocolUnknown && p < best) {
+			best, bestRate = p, r
+		}
+	}
+	return best, bestRate >= requiredKbps
+}

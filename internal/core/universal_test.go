@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"multiscatter/internal/channel"
+	"multiscatter/internal/overlay"
+	"multiscatter/internal/phy/ble"
+	"multiscatter/internal/phy/dsss"
+	"multiscatter/internal/phy/zigbee"
+	"multiscatter/internal/radio"
+)
+
+func noisyCapture(w radio.Waveform, delay int, seed int64) radio.Waveform {
+	rng := rand.New(rand.NewSource(seed))
+	iq := make([]complex128, delay, delay+len(w.IQ))
+	for i := range iq {
+		iq[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * 0.01
+	}
+	iq = append(iq, w.IQ...)
+	channel.AWGN(iq, 18, rng)
+	return radio.Waveform{IQ: iq, Rate: w.Rate}
+}
+
+func TestUniversalReceiveDSSS(t *testing.T) {
+	payload := []byte("universal 11b")
+	mod := dsss.NewModulator(dsss.Config{Rate: dsss.Rate2Mbps})
+	w, _ := mod.Modulate(radio.Packet{Payload: payload})
+	fr, err := UniversalReceive(noisyCapture(w, 150, 1), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Protocol != radio.Protocol80211b {
+		t.Fatalf("identified %v", fr.Protocol)
+	}
+	if !bytes.Equal(fr.Payload, payload) {
+		t.Fatalf("payload %q", fr.Payload)
+	}
+}
+
+func TestUniversalReceiveBLE(t *testing.T) {
+	pdu := []byte{0x02, 0x07, 1, 2, 3, 4, 5, 6, 7}
+	mod := ble.NewModulator(ble.Config{})
+	w, _ := mod.Modulate(radio.Packet{Payload: pdu})
+	fr, err := UniversalReceive(noisyCapture(w, 77, 2), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Protocol != radio.ProtocolBLE {
+		t.Fatalf("identified %v", fr.Protocol)
+	}
+	if !bytes.Equal(fr.Payload, pdu) {
+		t.Fatalf("PDU %x", fr.Payload)
+	}
+}
+
+func TestUniversalReceiveZigBee(t *testing.T) {
+	payload := []byte("universal 15.4!!")
+	mod := zigbee.NewModulator(zigbee.Config{})
+	w, _ := mod.Modulate(radio.Packet{Payload: payload})
+	fr, err := UniversalReceive(noisyCapture(w, 240, 3), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Protocol != radio.ProtocolZigBee {
+		t.Fatalf("identified %v", fr.Protocol)
+	}
+	if !bytes.Equal(fr.Payload, payload) {
+		t.Fatalf("payload %q", fr.Payload)
+	}
+}
+
+func TestUniversalReceiveNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	iq := make([]complex128, 6000)
+	for i := range iq {
+		iq[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	_, err := UniversalReceive(radio.Waveform{IQ: iq, Rate: 8e6}, 2000)
+	if !errors.Is(err, ErrNoFrameFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChooseMode(t *testing.T) {
+	l := NewLink(radio.Protocol80211b, channel.NewLoS())
+	tr := overlay.DefaultTraffic(radio.Protocol80211b)
+	// A light requirement is met by the balanced mode.
+	m, ok := ChooseMode(l, 2, tr, 50)
+	if m != overlay.Mode1 || !ok {
+		t.Fatalf("light requirement: %v %v", m, ok)
+	}
+	// A heavier tag requirement pushes up the mode ladder.
+	m1 := l.Throughput(2, overlay.Mode1, tr).TagKbps
+	m, ok = ChooseMode(l, 2, tr, m1+10)
+	if m == overlay.Mode1 || !ok {
+		t.Fatalf("heavy requirement stayed at mode 1: %v %v", m, ok)
+	}
+	// An impossible requirement falls back to mode 3, not met.
+	m, ok = ChooseMode(l, 2, tr, 1e6)
+	if m != overlay.Mode3 || ok {
+		t.Fatalf("impossible requirement: %v %v", m, ok)
+	}
+}

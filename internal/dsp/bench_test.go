@@ -1,0 +1,85 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomIQ(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func BenchmarkFFT64(b *testing.B) {
+	x := randomIQ(64, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := randomIQ(1024, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkNormCorr120(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 120)
+	t := make([]float64, 120)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		t[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NormCorrFloat(x, t)
+	}
+}
+
+func BenchmarkSignCorr120(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := make([]int8, 120)
+	t := make([]int8, 120)
+	for i := range x {
+		x[i] = int8(rng.Intn(2)*2 - 1)
+		t[i] = int8(rng.Intn(2)*2 - 1)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SignCorr(x, t)
+	}
+}
+
+func BenchmarkRotate(b *testing.B) {
+	x := randomIQ(4096, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Rotate(x, 1e5, 20e6, 0)
+	}
+}
+
+func BenchmarkCrossCorrPeak(b *testing.B) {
+	x := randomIQ(2000, 6)
+	ref := randomIQ(320, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CrossCorrPeak(x, ref, 1000)
+	}
+}
+
+func BenchmarkLowpass63Taps(b *testing.B) {
+	f := NewLowpass(0.1, 63)
+	x := randomIQ(4096, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Apply(x)
+	}
+}

@@ -1,0 +1,248 @@
+// Package dsp provides the digital signal processing substrate used by the
+// multiscatter simulator: complex-baseband vector operations, FFTs, FIR
+// filtering, pulse shaping, correlation, resampling, and the analytic
+// BER/Q-function math used for link-budget experiments.
+//
+// All signals are represented as []complex128 sampled at an explicit rate
+// carried alongside the samples by the caller (see package radio). The
+// functions here are allocation-conscious: where practical they accept a
+// destination slice and return it, following the append style of the
+// standard library.
+package dsp
+
+import "math"
+
+// Scale multiplies every sample of x by k in place and returns x.
+func Scale(x []complex128, k complex128) []complex128 {
+	for i := range x {
+		x[i] *= k
+	}
+	return x
+}
+
+// Add accumulates src into dst element-wise. The shorter length wins.
+// It returns the number of samples accumulated.
+func Add(dst, src []complex128) int {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] += src[i]
+	}
+	return n
+}
+
+// AddAt accumulates src into dst starting at sample offset off, clipping to
+// the bounds of dst. Samples of src that fall outside dst are dropped.
+// It returns the number of samples accumulated.
+func AddAt(dst, src []complex128, off int) int {
+	if off >= len(dst) {
+		return 0
+	}
+	if off < 0 {
+		if -off >= len(src) {
+			return 0
+		}
+		return Add(dst, src[-off:])
+	}
+	return Add(dst[off:], src)
+}
+
+// Energy returns the total energy sum |x[i]|^2 of the signal.
+func Energy(x []complex128) float64 {
+	var e float64
+	for _, v := range x {
+		re, im := real(v), imag(v)
+		e += re*re + im*im
+	}
+	return e
+}
+
+// Power returns the mean sample power of x, or 0 for an empty signal.
+func Power(x []complex128) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Energy(x) / float64(len(x))
+}
+
+// RMS returns the root-mean-square amplitude of x.
+func RMS(x []complex128) float64 {
+	return math.Sqrt(Power(x))
+}
+
+// PeakAbs returns the maximum |x[i]| over the signal.
+func PeakAbs(x []complex128) float64 {
+	var p float64
+	for _, v := range x {
+		a := cmplxAbs(v)
+		if a > p {
+			p = a
+		}
+	}
+	return p
+}
+
+func cmplxAbs(v complex128) float64 {
+	return math.Hypot(real(v), imag(v))
+}
+
+// Envelope writes |x[i]| for each sample into a new float64 slice.
+func Envelope(x []complex128) []float64 {
+	env := make([]float64, len(x))
+	for i, v := range x {
+		env[i] = cmplxAbs(v)
+	}
+	return env
+}
+
+// NormalizePower scales x in place so its mean power equals target.
+// A zero-power signal is returned unchanged.
+func NormalizePower(x []complex128, target float64) []complex128 {
+	p := Power(x)
+	if p <= 0 {
+		return x
+	}
+	return Scale(x, complex(math.Sqrt(target/p), 0))
+}
+
+// DB10 converts a power ratio to decibels (10*log10).
+func DB10(ratio float64) float64 { return 10 * math.Log10(ratio) }
+
+// DB20 converts an amplitude ratio to decibels (20*log10).
+func DB20(ratio float64) float64 { return 20 * math.Log10(ratio) }
+
+// FromDB10 converts decibels to a power ratio.
+func FromDB10(db float64) float64 { return math.Pow(10, db/10) }
+
+// FromDB20 converts decibels to an amplitude ratio.
+func FromDB20(db float64) float64 { return math.Pow(10, db/20) }
+
+// DBmToWatts converts a power level in dBm to watts.
+func DBmToWatts(dbm float64) float64 { return math.Pow(10, (dbm-30)/10) }
+
+// WattsToDBm converts a power level in watts to dBm. Zero or negative power
+// maps to -inf.
+func WattsToDBm(w float64) float64 {
+	if w <= 0 {
+		return math.Inf(-1)
+	}
+	return 10*math.Log10(w) + 30
+}
+
+// Rotate applies a continuous phase ramp exp(j*2π*freq*i/rate + j*phase0)
+// to x in place and returns x. It is the complex mixer used for frequency
+// shifting a baseband signal (e.g. the tag's frequency-shift operation that
+// moves backscatter into an adjacent channel).
+func Rotate(x []complex128, freq, rate, phase0 float64) []complex128 {
+	if len(x) == 0 {
+		return x
+	}
+	step := 2 * math.Pi * freq / rate
+	// Use an incremental rotator; renormalize periodically to bound drift.
+	rot := complex(math.Cos(phase0), math.Sin(phase0))
+	inc := complex(math.Cos(step), math.Sin(step))
+	for i := range x {
+		x[i] *= rot
+		rot *= inc
+		if i&1023 == 1023 {
+			m := cmplxAbs(rot)
+			if m != 0 {
+				rot /= complex(m, 0)
+			}
+		}
+	}
+	return x
+}
+
+// PhaseShift multiplies x in place by exp(j*theta).
+func PhaseShift(x []complex128, theta float64) []complex128 {
+	return Scale(x, complex(math.Cos(theta), math.Sin(theta)))
+}
+
+// Conj conjugates x in place and returns x.
+func Conj(x []complex128) []complex128 {
+	for i, v := range x {
+		x[i] = complex(real(v), -imag(v))
+	}
+	return x
+}
+
+// Mean returns the complex mean of x, or 0 for an empty slice.
+func Mean(x []complex128) complex128 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s complex128
+	for _, v := range x {
+		s += v
+	}
+	return s / complex(float64(len(x)), 0)
+}
+
+// MeanFloat returns the arithmetic mean of x, or 0 for an empty slice.
+func MeanFloat(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// StdDevFloat returns the population standard deviation of x.
+func StdDevFloat(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := MeanFloat(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// RemoveDC subtracts the mean from x in place and returns x.
+func RemoveDC(x []float64) []float64 {
+	m := MeanFloat(x)
+	for i := range x {
+		x[i] -= m
+	}
+	return x
+}
+
+// NormalizeFloat scales x in place to unit RMS. A zero signal is returned
+// unchanged.
+func NormalizeFloat(x []float64) []float64 {
+	var e float64
+	for _, v := range x {
+		e += v * v
+	}
+	if e == 0 {
+		return x
+	}
+	k := 1 / math.Sqrt(e/float64(len(x)))
+	for i := range x {
+		x[i] *= k
+	}
+	return x
+}
+
+// Clone returns a copy of x.
+func Clone(x []complex128) []complex128 {
+	c := make([]complex128, len(x))
+	copy(c, x)
+	return c
+}
+
+// CloneFloat returns a copy of x.
+func CloneFloat(x []float64) []float64 {
+	c := make([]float64, len(x))
+	copy(c, x)
+	return c
+}

@@ -1,0 +1,111 @@
+package dsp
+
+import "math"
+
+// NormCorrFloat returns the normalized correlation coefficient between a
+// and b over the overlap min(len(a), len(b)). The result is in [-1, 1];
+// two zero-energy vectors correlate as 0.
+func NormCorrFloat(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	var dot, ea, eb float64
+	for i := 0; i < n; i++ {
+		dot += a[i] * b[i]
+		ea += a[i] * a[i]
+		eb += b[i] * b[i]
+	}
+	if ea == 0 || eb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(ea*eb)
+}
+
+// SignCorr returns the matched-sign fraction correlation of two ±1
+// quantized vectors: (agreements - disagreements) / n, in [-1, 1]. This is
+// the multiplier-free correlation the tag FPGA computes after 1-bit
+// quantization: a product of signs is +1 on agreement and -1 otherwise, so
+// the whole correlation reduces to adders.
+func SignCorr(a, b []int8) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	var acc int
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			acc++
+		} else {
+			acc--
+		}
+	}
+	return float64(acc) / float64(n)
+}
+
+// SlidingNormCorr computes the normalized correlation of template against
+// every alignment of x, returning a slice of len(x)-len(template)+1 scores
+// (empty if the template does not fit). It is O(n·m); fine for the
+// window sizes used by the tag (≤ 800 samples).
+func SlidingNormCorr(x, template []float64) []float64 {
+	m := len(template)
+	if m == 0 || len(x) < m {
+		return nil
+	}
+	var et float64
+	for _, v := range template {
+		et += v * v
+	}
+	out := make([]float64, len(x)-m+1)
+	if et == 0 {
+		return out
+	}
+	for off := range out {
+		var dot, ex float64
+		for i := 0; i < m; i++ {
+			dot += x[off+i] * template[i]
+			ex += x[off+i] * x[off+i]
+		}
+		if ex == 0 {
+			out[off] = 0
+			continue
+		}
+		out[off] = dot / math.Sqrt(ex*et)
+	}
+	return out
+}
+
+// MaxFloat returns the maximum value of x and its index, or (0, -1) for an
+// empty slice.
+func MaxFloat(x []float64) (float64, int) {
+	if len(x) == 0 {
+		return 0, -1
+	}
+	best, idx := x[0], 0
+	for i, v := range x[1:] {
+		if v > best {
+			best, idx = v, i+1
+		}
+	}
+	return best, idx
+}
+
+// ArgMaxAbs returns the index of the sample of x with the largest
+// magnitude, or -1 for an empty slice.
+func ArgMaxAbs(x []complex128) int {
+	idx := -1
+	var best float64
+	for i, v := range x {
+		a := real(v)*real(v) + imag(v)*imag(v)
+		if idx < 0 || a > best {
+			best, idx = a, i
+		}
+	}
+	return idx
+}

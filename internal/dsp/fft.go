@@ -1,0 +1,96 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. The length of x must be a power of two; FFT panics
+// otherwise, because a non-power-of-two length is a programming error in
+// this codebase (all OFDM symbol sizes are powers of two).
+func FFT(x []complex128) {
+	fftInPlace(x, false)
+}
+
+// IFFT computes the in-place inverse FFT of x, including the 1/N scaling.
+// The length of x must be a power of two.
+func IFFT(x []complex128) {
+	fftInPlace(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		theta := sign * 2 * math.Pi / float64(size)
+		wstep := complex(math.Cos(theta), math.Sin(theta))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wstep
+			}
+		}
+	}
+}
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// FFTShift reorders spectrum bins so DC sits in the middle, matching the
+// conventional textbook spectrum layout. It returns a new slice.
+func FFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	h := (n + 1) / 2
+	copy(out, x[h:])
+	copy(out[n-h:], x[:h])
+	return out
+}
+
+// SpectrumPower computes the power spectrum |FFT(x)|^2/N of x zero-padded to
+// a power of two. It is used by tests and diagnostics, not the hot path.
+func SpectrumPower(x []complex128) []float64 {
+	n := NextPow2(len(x))
+	buf := make([]complex128, n)
+	copy(buf, x)
+	FFT(buf)
+	out := make([]float64, n)
+	for i, v := range buf {
+		re, im := real(v), imag(v)
+		out[i] = (re*re + im*im) / float64(n)
+	}
+	return out
+}

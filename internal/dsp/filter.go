@@ -1,0 +1,181 @@
+package dsp
+
+import "math"
+
+// FIR is a finite impulse response filter described by its tap weights.
+type FIR struct {
+	Taps []float64
+}
+
+// NewLowpass designs a windowed-sinc (Hamming) lowpass FIR with the given
+// normalized cutoff frequency (cutoff/sampleRate, in (0, 0.5)) and tap
+// count. An even tap count is rounded up to the next odd count so the
+// filter has a symmetric center tap.
+func NewLowpass(normCutoff float64, taps int) *FIR {
+	if taps < 3 {
+		taps = 3
+	}
+	if taps%2 == 0 {
+		taps++
+	}
+	if normCutoff <= 0 {
+		normCutoff = 1e-6
+	}
+	if normCutoff >= 0.5 {
+		normCutoff = 0.499999
+	}
+	h := make([]float64, taps)
+	mid := (taps - 1) / 2
+	var sum float64
+	for i := range h {
+		n := float64(i - mid)
+		var v float64
+		if n == 0 {
+			v = 2 * normCutoff
+		} else {
+			v = math.Sin(2*math.Pi*normCutoff*n) / (math.Pi * n)
+		}
+		// Hamming window.
+		v *= 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(taps-1))
+		h[i] = v
+		sum += v
+	}
+	// Normalize to unity DC gain.
+	for i := range h {
+		h[i] /= sum
+	}
+	return &FIR{Taps: h}
+}
+
+// GaussianTaps returns the taps of a Gaussian pulse-shaping filter with
+// bandwidth-time product bt, spanning span symbol periods at sps samples
+// per symbol, normalized to unit area. This is the shaping filter of GFSK
+// as used by Bluetooth (BT = 0.5).
+func GaussianTaps(bt float64, sps, span int) []float64 {
+	if sps < 1 {
+		sps = 1
+	}
+	if span < 1 {
+		span = 1
+	}
+	n := sps*span | 1 // make odd
+	taps := make([]float64, n)
+	mid := float64(n-1) / 2
+	// Standard GFSK Gaussian: h(t) = sqrt(2π/ln2) * B * exp(-2π²B²t²/ln2)
+	// with t in symbol periods and B = bt.
+	alpha := 2 * math.Pi * math.Pi * bt * bt / math.Ln2
+	var sum float64
+	for i := range taps {
+		t := (float64(i) - mid) / float64(sps)
+		taps[i] = math.Exp(-alpha * t * t)
+		sum += taps[i]
+	}
+	for i := range taps {
+		taps[i] /= sum
+	}
+	return taps
+}
+
+// HalfSineTaps returns one half-sine pulse of sps samples, the chip pulse
+// shape of O-QPSK as used by IEEE 802.15.4 (ZigBee).
+func HalfSineTaps(sps int) []float64 {
+	if sps < 1 {
+		sps = 1
+	}
+	taps := make([]float64, sps)
+	for i := range taps {
+		taps[i] = math.Sin(math.Pi * float64(i) / float64(sps))
+	}
+	return taps
+}
+
+// ApplyFloat convolves the real signal x with the filter, returning a new
+// slice of the same length (the group delay is removed so the output is
+// aligned with the input).
+func (f *FIR) ApplyFloat(x []float64) []float64 {
+	taps := f.Taps
+	delay := (len(taps) - 1) / 2
+	out := make([]float64, len(x))
+	for i := range out {
+		var acc float64
+		for k, t := range taps {
+			j := i + delay - k
+			if j >= 0 && j < len(x) {
+				acc += t * x[j]
+			}
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Apply convolves the complex signal x with the filter, returning a new
+// aligned slice of the same length.
+func (f *FIR) Apply(x []complex128) []complex128 {
+	taps := f.Taps
+	delay := (len(taps) - 1) / 2
+	out := make([]complex128, len(x))
+	for i := range out {
+		var accRe, accIm float64
+		for k, t := range taps {
+			j := i + delay - k
+			if j >= 0 && j < len(x) {
+				accRe += t * real(x[j])
+				accIm += t * imag(x[j])
+			}
+		}
+		out[i] = complex(accRe, accIm)
+	}
+	return out
+}
+
+// MovingAverage smooths x with a boxcar of width w (clamped to >= 1),
+// returning a new slice of the same length. It is used for simple envelope
+// post-detection filtering.
+func MovingAverage(x []float64, w int) []float64 {
+	if w < 1 {
+		w = 1
+	}
+	out := make([]float64, len(x))
+	var acc float64
+	for i := range x {
+		acc += x[i]
+		if i >= w {
+			acc -= x[i-w]
+		}
+		n := w
+		if i+1 < w {
+			n = i + 1
+		}
+		out[i] = acc / float64(n)
+	}
+	return out
+}
+
+// UpsampleHold repeats each sample of symbols sps times (zero-order hold).
+func UpsampleHold(symbols []complex128, sps int) []complex128 {
+	if sps < 1 {
+		sps = 1
+	}
+	out := make([]complex128, len(symbols)*sps)
+	for i, s := range symbols {
+		for k := 0; k < sps; k++ {
+			out[i*sps+k] = s
+		}
+	}
+	return out
+}
+
+// UpsampleHoldFloat repeats each sample of x sps times.
+func UpsampleHoldFloat(x []float64, sps int) []float64 {
+	if sps < 1 {
+		sps = 1
+	}
+	out := make([]float64, len(x)*sps)
+	for i, s := range x {
+		for k := 0; k < sps; k++ {
+			out[i*sps+k] = s
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package dsp
+
+import "math"
+
+// CrossCorrPeak slides the complex reference ref over x and returns the
+// offset with the largest normalized correlation magnitude along with
+// that magnitude (in [0, 1]). The normalization divides by the local
+// signal energy, so the statistic is amplitude-invariant — the standard
+// non-coherent packet-detection matched filter.
+//
+// maxOffset bounds the search (≤ 0 searches the whole overlap). The
+// search is O(n·m); callers bound maxOffset to their timing uncertainty.
+func CrossCorrPeak(x, ref []complex128, maxOffset int) (int, float64) {
+	m := len(ref)
+	if m == 0 || len(x) < m {
+		return -1, 0
+	}
+	limit := len(x) - m
+	if maxOffset > 0 && maxOffset < limit {
+		limit = maxOffset
+	}
+	var eRef float64
+	for _, v := range ref {
+		eRef += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if eRef == 0 {
+		return -1, 0
+	}
+	bestOff, bestScore := -1, 0.0
+	// Maintain the local energy incrementally.
+	var eX float64
+	for i := 0; i < m; i++ {
+		eX += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	for off := 0; off <= limit; off++ {
+		if eX > 0 {
+			var accRe, accIm float64
+			for i := 0; i < m; i++ {
+				xv := x[off+i]
+				rv := ref[i]
+				// x · conj(ref)
+				accRe += real(xv)*real(rv) + imag(xv)*imag(rv)
+				accIm += imag(xv)*real(rv) - real(xv)*imag(rv)
+			}
+			score := math.Sqrt(accRe*accRe+accIm*accIm) / math.Sqrt(eX*eRef)
+			if score > bestScore {
+				bestScore, bestOff = score, off
+			}
+		}
+		if off < limit {
+			out := x[off]
+			in := x[off+m]
+			eX += real(in)*real(in) + imag(in)*imag(in) -
+				real(out)*real(out) - imag(out)*imag(out)
+			if eX < 0 {
+				eX = 0
+			}
+		}
+	}
+	return bestOff, bestScore
+}
+
+// AutoCorrPlateau computes the normalized lag-L autocorrelation of x at
+// every offset over a window of the same length L — the Schmidl&Cox-style
+// detector for periodic training fields (the 802.11 L-STF repeats every
+// 16 samples). It returns the first offset where the metric exceeds
+// threshold for at least minRun consecutive samples, or -1.
+func AutoCorrPlateau(x []complex128, lag, window int, threshold float64, minRun int) int {
+	if lag <= 0 || window <= 0 || len(x) < lag+window {
+		return -1
+	}
+	run := 0
+	limit := len(x) - lag - window
+	for off := 0; off <= limit; off++ {
+		var accRe, accIm, e1, e2 float64
+		for i := 0; i < window; i++ {
+			a := x[off+i]
+			b := x[off+i+lag]
+			accRe += real(a)*real(b) + imag(a)*imag(b)
+			accIm += imag(a)*real(b) - real(a)*imag(b)
+			e1 += real(a)*real(a) + imag(a)*imag(a)
+			e2 += real(b)*real(b) + imag(b)*imag(b)
+		}
+		den := math.Sqrt(e1 * e2)
+		metric := 0.0
+		if den > 0 {
+			metric = math.Hypot(accRe, accIm) / den
+		}
+		if metric >= threshold {
+			run++
+			if run >= minRun {
+				return off - minRun + 1
+			}
+		} else {
+			run = 0
+		}
+	}
+	return -1
+}

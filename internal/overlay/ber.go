@@ -1,0 +1,17 @@
+package overlay
+
+import "multiscatter/internal/dsp"
+
+// Thin wrappers around the dsp BER curves so the throughput model reads
+// in protocol terms.
+
+func berBPSK(snr float64) float64  { return dsp.BERBPSK(snr) }
+func berDBPSK(snr float64) float64 { return dsp.BERDBPSK(snr) }
+func berFSK(snr float64) float64   { return dsp.BERFSK(snr) }
+
+// berDSSSSymbol is the 802.15.4 symbol error rate after 32-chip
+// despreading at the given chip SNR.
+func berDSSSSymbol(snr float64) float64 { return dsp.BEROQPSKDSSS(snr) }
+
+// repetitionError is the majority-vote error over n repetitions.
+func repetitionError(p float64, n int) float64 { return dsp.BERRepetition(p, n) }

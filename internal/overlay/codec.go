@@ -1,0 +1,491 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+
+	"multiscatter/internal/phy/ble"
+	"multiscatter/internal/phy/dsss"
+	"multiscatter/internal/phy/ofdm"
+	"multiscatter/internal/phy/zigbee"
+	"multiscatter/internal/radio"
+)
+
+// Carrier is a generated overlay carrier: the waveform plus everything
+// needed to tag-modulate and decode it.
+type Carrier struct {
+	// Waveform is the complex-baseband carrier.
+	Waveform radio.Waveform
+	// Plan is the sequence structure.
+	Plan *Plan
+	// SymbolStart and SamplesPerSymbol map payload symbols to samples.
+	SymbolStart      []int
+	SamplesPerSymbol int
+	// phy holds protocol-specific demodulation state.
+	phy any
+}
+
+// Codec generates, tag-modulates and decodes overlay carriers for one
+// protocol.
+type Codec interface {
+	// Protocol the codec serves.
+	Protocol() radio.Protocol
+	// Build generates the carrier for plan.
+	Build(plan *Plan) (*Carrier, error)
+	// ApplyTag modulates tag bits onto the carrier in place: tag bit t
+	// is applied to modulatable unit t (bit 1 flips the unit; bit 0
+	// leaves it). Excess tag bits beyond the capacity are ignored.
+	ApplyTag(c *Carrier, tag []byte)
+	// Decode recovers productive and tag data from the carrier with a
+	// single commodity receiver.
+	Decode(c *Carrier) (Result, error)
+}
+
+// NewCodec returns the codec for a protocol with its default
+// reference-symbol modulation (DSSS-DBPSK for 802.11b, OFDM-BPSK for
+// 802.11n).
+func NewCodec(p radio.Protocol) (Codec, error) {
+	switch p {
+	case radio.Protocol80211b:
+		return &dsssCodec{rate: dsss.Rate1Mbps}, nil
+	case radio.Protocol80211n:
+		return &ofdmCodec{mod: ofdm.BPSK}, nil
+	case radio.ProtocolBLE:
+		return &bleCodec{}, nil
+	case radio.ProtocolZigBee:
+		return &zigbeeCodec{}, nil
+	default:
+		return nil, fmt.Errorf("overlay: no codec for %v", p)
+	}
+}
+
+// NewDSSSCodec returns an 802.11b codec with an explicit reference-symbol
+// modulation (Figure 17a: DSSS-BPSK, DSSS-DQPSK, or CCK 5.5).
+func NewDSSSCodec(rate dsss.Rate) Codec { return &dsssCodec{rate: rate} }
+
+// NewOFDMCodec returns an 802.11n codec with an explicit reference-symbol
+// modulation (Figure 17b: OFDM-BPSK, OFDM-QPSK, or OFDM-16QAM).
+func NewOFDMCodec(mod ofdm.Modulation) Codec { return &ofdmCodec{mod: mod} }
+
+// ErrNoSymbols is returned when a carrier has no payload symbols.
+var ErrNoSymbols = errors.New("overlay: carrier has no payload symbols")
+
+// ---------------------------------------------------------------- 802.11b
+
+// dsssCodec carries overlay sequences on an 802.11b carrier with the
+// data scrambler off (overlay works on raw PHY symbols). Productive bits
+// are differentially encoded across sequences so that the absolute phase
+// of every symbol of sequence i equals Productive[i]·π; the tag flips
+// units by π. The reference-symbol modulation may be DSSS-DBPSK,
+// DSSS-DQPSK or CCK 5.5 — BPSK-based tag modulation is compatible with
+// all of them (§2.4.2).
+type dsssCodec struct {
+	rate dsss.Rate
+}
+
+func (*dsssCodec) Protocol() radio.Protocol { return radio.Protocol80211b }
+
+func (c *dsssCodec) cfg() dsss.Config {
+	return dsss.Config{Rate: c.rate, NoScramble: true}
+}
+
+// symbolBits encodes one overlay symbol of absolute phase target·π given
+// the running absolute phase (in π units), returning the payload bits of
+// that symbol. For DQPSK and CCK the 0/π alphabet is a subset of the
+// constellation; the remaining bits are zero.
+func (c *dsssCodec) symbolBits(target, prev byte) []byte {
+	delta := (target ^ prev) & 1
+	switch c.rate {
+	case dsss.Rate2Mbps:
+		// Δ0 → dibit 00, Δπ → dibit 11.
+		return []byte{delta, delta}
+	case dsss.Rate5_5Mbps:
+		// φ1 carries the phase; d2, d3 stay 0. The modulator adds π on
+		// odd symbols itself, so the differential input is unchanged.
+		return []byte{delta, delta, 0, 0}
+	case dsss.Rate11Mbps:
+		return []byte{delta, delta, 0, 0, 0, 0, 0, 0}
+	default:
+		return []byte{delta}
+	}
+}
+
+func (c *dsssCodec) Build(plan *Plan) (*Carrier, error) {
+	vals := plan.SymbolValues()
+	bits := make([]byte, 0, len(vals)*c.rate.BitsPerSymbol())
+	prev := byte(0)
+	for _, v := range vals {
+		bits = append(bits, c.symbolBits(v, prev)...)
+		prev = v
+	}
+	payload := radio.BitsToBytes(bits)
+	mod := dsss.NewModulator(c.cfg())
+	w, info := mod.Modulate(radio.Packet{Protocol: radio.Protocol80211b, Payload: payload})
+	if info.NumSymbols() == 0 {
+		return nil, ErrNoSymbols
+	}
+	return &Carrier{
+		Waveform:         w,
+		Plan:             plan,
+		SymbolStart:      info.SymbolStart,
+		SamplesPerSymbol: info.SamplesPerSymbol,
+		phy:              info,
+	}, nil
+}
+
+func (c *dsssCodec) ApplyTag(carrier *Carrier, tag []byte) {
+	flipUnits(carrier, tag, func(iq []complex128, _ int) {
+		for i := range iq {
+			iq[i] = -iq[i]
+		}
+	})
+}
+
+func (c *dsssCodec) Decode(carrier *Carrier) (Result, error) {
+	info, ok := carrier.phy.(*dsss.FrameInfo)
+	if !ok {
+		return Result{}, errors.New("overlay: dsss carrier state missing")
+	}
+	bits, err := dsss.NewDemodulator(c.cfg()).Demodulate(carrier.Waveform, info)
+	if err != nil {
+		return Result{}, err
+	}
+	// Reconstruct the absolute phase (in π units) per payload symbol by
+	// accumulating the per-symbol differential decisions. For DQPSK/CCK
+	// the phase lives on a π/2 grid; overlay content stays on the π
+	// grid, so quarter-unit residue rounds to the nearest half turn.
+	bps := c.rate.BitsPerSymbol()
+	nsym := len(bits) / bps
+	abs := make([]byte, 0, nsym)
+	quarters := 0
+	for sidx := 0; sidx < nsym; sidx++ {
+		chunk := bits[sidx*bps:]
+		var dq int // phase change in quarter turns
+		switch c.rate {
+		case dsss.Rate2Mbps, dsss.Rate5_5Mbps, dsss.Rate11Mbps:
+			d0, d1 := chunk[0]&1, chunk[1]&1
+			switch d0<<1 | d1 {
+			case 0b00:
+				dq = 0
+			case 0b01:
+				dq = 1
+			case 0b11:
+				dq = 2
+			default:
+				dq = 3
+			}
+		default:
+			dq = int(chunk[0]&1) * 2
+		}
+		quarters = (quarters + dq) % 4
+		// Round the quarter grid to the nearest π: 0,1 → 0; 2,3 → 1.
+		abs = append(abs, byte((quarters+1)/2%2))
+	}
+	return decodeUnitValues(carrier.Plan, abs, decodeBitUnits), nil
+}
+
+// ---------------------------------------------------------------- 802.11n
+
+// ofdmCodec carries overlay sequences on uncoded OFDM symbols: every
+// data subcarrier's sign bit carries the unit's value (a π phase flip of
+// the time-domain symbol flips every subcarrier's sign bit — IFFT
+// linearity). Decoding majority-votes the sign bits of the middle half
+// of the subcarriers (the paper's §2.4.2 rule) and then compares units.
+// The subcarrier constellation may be BPSK, QPSK or 16-QAM (Figure 17b).
+type ofdmCodec struct {
+	mod ofdm.Modulation
+}
+
+func (*ofdmCodec) Protocol() radio.Protocol { return radio.Protocol80211n }
+
+func (c *ofdmCodec) cfg() ofdm.Config {
+	return ofdm.Config{Modulation: c.mod}
+}
+
+func (c *ofdmCodec) Build(plan *Plan) (*Carrier, error) {
+	vals := plan.SymbolValues()
+	n := ofdm.DataSubcarriers()
+	bpsc := c.mod.BitsPerSubcarrier()
+	bits := make([]byte, 0, len(vals)*n*bpsc)
+	for _, v := range vals {
+		for i := 0; i < n; i++ {
+			// The I sign bit (b0) carries the value; other bits are 0.
+			bits = append(bits, v)
+			for k := 1; k < bpsc; k++ {
+				bits = append(bits, 0)
+			}
+		}
+	}
+	payload := radio.BitsToBytes(bits)
+	mod := ofdm.NewModulator(c.cfg())
+	w, info := mod.Modulate(radio.Packet{Protocol: radio.Protocol80211n, Payload: payload})
+	if info.NumSymbols() == 0 {
+		return nil, ErrNoSymbols
+	}
+	return &Carrier{
+		Waveform:         w,
+		Plan:             plan,
+		SymbolStart:      info.SymbolStart[:len(vals)],
+		SamplesPerSymbol: info.SamplesPerSymbol,
+		phy:              info,
+	}, nil
+}
+
+func (c *ofdmCodec) ApplyTag(carrier *Carrier, tag []byte) {
+	flipUnits(carrier, tag, func(iq []complex128, _ int) {
+		for i := range iq {
+			iq[i] = -iq[i]
+		}
+	})
+}
+
+func (c *ofdmCodec) Decode(carrier *Carrier) (Result, error) {
+	info, ok := carrier.phy.(*ofdm.FrameInfo)
+	if !ok {
+		return Result{}, errors.New("overlay: ofdm carrier state missing")
+	}
+	bits, err := ofdm.NewDemodulator(c.cfg()).Demodulate(carrier.Waveform, info)
+	if err != nil {
+		return Result{}, err
+	}
+	n := ofdm.DataSubcarriers()
+	bpsc := c.mod.BitsPerSubcarrier()
+	perSym := n * bpsc
+	nsym := len(bits) / perSym
+	if nsym > carrier.Plan.TotalSymbols() {
+		nsym = carrier.Plan.TotalSymbols()
+	}
+	vals := make([]byte, nsym)
+	lo, hi := n/4, 3*n/4 // middle half of the modulated subcarriers
+	signBits := make([]byte, 0, hi-lo)
+	for s := 0; s < nsym; s++ {
+		signBits = signBits[:0]
+		for sc := lo; sc < hi; sc++ {
+			signBits = append(signBits, bits[s*perSym+sc*bpsc])
+		}
+		vals[s] = MajorityBit(signBits)
+	}
+	return decodeUnitValues(carrier.Plan, vals, decodeBitUnits), nil
+}
+
+// -------------------------------------------------------------------- BLE
+
+// bleCodec carries overlay sequences on an unwhitened BLE PDU whose bits
+// repeat each sequence's productive bit; the tag applies the Δf = 2×
+// deviation double-sideband shift over a unit's samples to flip it.
+// Decoding majority-votes the interior bits of each unit (edge symbols
+// absorb the filter transient, as the paper observes).
+type bleCodec struct{}
+
+func (*bleCodec) Protocol() radio.Protocol { return radio.ProtocolBLE }
+
+func (c *bleCodec) cfg() ble.Config {
+	return ble.Config{NoWhitening: true}
+}
+
+func (c *bleCodec) Build(plan *Plan) (*Carrier, error) {
+	bits := plan.SymbolValues()
+	payload := radio.BitsToBytes(bits)
+	mod := ble.NewModulator(c.cfg())
+	w, info := mod.Modulate(radio.Packet{Protocol: radio.ProtocolBLE, Payload: payload})
+	if info.NumSymbols() == 0 {
+		return nil, ErrNoSymbols
+	}
+	// Only payload symbols (not the trailing CRC bits) carry sequences.
+	n := len(bits)
+	if n > len(info.SymbolStart) {
+		n = len(info.SymbolStart)
+	}
+	return &Carrier{
+		Waveform:         w,
+		Plan:             plan,
+		SymbolStart:      info.SymbolStart[:n],
+		SamplesPerSymbol: info.SamplesPerSymbol,
+		phy:              info,
+	}, nil
+}
+
+func (c *bleCodec) ApplyTag(carrier *Carrier, tag []byte) {
+	rate := carrier.Waveform.Rate
+	flipUnits(carrier, tag, func(iq []complex128, start int) {
+		ble.TagShift(iq, rate, 2*ble.Deviation, start)
+	})
+}
+
+func (c *bleCodec) Decode(carrier *Carrier) (Result, error) {
+	info, ok := carrier.phy.(*ble.FrameInfo)
+	if !ok {
+		return Result{}, errors.New("overlay: ble carrier state missing")
+	}
+	bits, err := ble.NewDemodulator(c.cfg()).Demodulate(carrier.Waveform, info)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(bits) > carrier.Plan.TotalSymbols() {
+		bits = bits[:carrier.Plan.TotalSymbols()]
+	}
+	return decodeUnitValues(carrier.Plan, bits, decodeBitUnitsInterior), nil
+}
+
+// ----------------------------------------------------------------- ZigBee
+
+// zigbeeCodec carries overlay sequences on 802.15.4 symbols whose 4-bit
+// values equal each sequence's productive bit (symbol 0x0 or 0x1); the
+// tag flips units by π, which the commodity receiver's best-match
+// despreader decodes as a different (far) PN symbol — the comparison
+// against the reference unit recovers the tag bit.
+type zigbeeCodec struct{}
+
+func (*zigbeeCodec) Protocol() radio.Protocol { return radio.ProtocolZigBee }
+
+func (c *zigbeeCodec) cfg() zigbee.Config { return zigbee.Config{} }
+
+func (c *zigbeeCodec) Build(plan *Plan) (*Carrier, error) {
+	vals := plan.SymbolValues()
+	// Pack symbols into bytes, low nibble first.
+	if len(vals)%2 == 1 {
+		vals = append(vals, vals[len(vals)-1])
+	}
+	payload := make([]byte, len(vals)/2)
+	for i := range payload {
+		payload[i] = vals[2*i]&0x0F | vals[2*i+1]<<4
+	}
+	mod := zigbee.NewModulator(c.cfg())
+	w, info := mod.Modulate(radio.Packet{Protocol: radio.ProtocolZigBee, Payload: payload})
+	if info.NumSymbols() == 0 {
+		return nil, ErrNoSymbols
+	}
+	n := plan.TotalSymbols()
+	if n > len(info.SymbolStart) {
+		n = len(info.SymbolStart)
+	}
+	return &Carrier{
+		Waveform:         w,
+		Plan:             plan,
+		SymbolStart:      info.SymbolStart[:n],
+		SamplesPerSymbol: info.SamplesPerSymbol,
+		phy:              info,
+	}, nil
+}
+
+func (c *zigbeeCodec) ApplyTag(carrier *Carrier, tag []byte) {
+	flipUnits(carrier, tag, func(iq []complex128, _ int) {
+		for i := range iq {
+			iq[i] = -iq[i]
+		}
+	})
+}
+
+func (c *zigbeeCodec) Decode(carrier *Carrier) (Result, error) {
+	info, ok := carrier.phy.(*zigbee.FrameInfo)
+	if !ok {
+		return Result{}, errors.New("overlay: zigbee carrier state missing")
+	}
+	syms, err := zigbee.NewDemodulator(c.cfg()).Demodulate(carrier.Waveform, info)
+	if err != nil {
+		return Result{}, err
+	}
+	n := carrier.Plan.TotalSymbols()
+	if n > len(syms) {
+		n = len(syms)
+	}
+	vals := make([]byte, n)
+	for i := 0; i < n; i++ {
+		vals[i] = syms[i].Value
+	}
+	return decodeUnitValues(carrier.Plan, vals, decodeSymbolUnits), nil
+}
+
+// ------------------------------------------------------------ shared logic
+
+// flipUnits applies flip to the sample range of every modulatable unit
+// whose tag bit is 1.
+func flipUnits(c *Carrier, tag []byte, flip func(iq []complex128, startSample int)) {
+	cap := c.Plan.TagCapacity()
+	for t := 0; t < len(tag) && t < cap; t++ {
+		if tag[t]&1 == 0 {
+			continue
+		}
+		s, e, ok := c.Plan.TagSymbolRange(t)
+		if !ok || s >= len(c.SymbolStart) {
+			continue
+		}
+		first := c.SymbolStart[s]
+		lastIdx := e - 1
+		if lastIdx >= len(c.SymbolStart) {
+			lastIdx = len(c.SymbolStart) - 1
+		}
+		last := c.SymbolStart[lastIdx] + c.SamplesPerSymbol
+		if last > len(c.Waveform.IQ) {
+			last = len(c.Waveform.IQ)
+		}
+		flip(c.Waveform.IQ[first:last], first)
+	}
+}
+
+// unitDecider reduces the γ decoded values of one unit to a single value.
+type unitDecider func(unit []byte) byte
+
+// decodeBitUnits majority-votes all γ values.
+func decodeBitUnits(unit []byte) byte { return MajorityBit(unit) }
+
+// decodeBitUnitsInterior majority-votes the interior values (edges absorb
+// modulation transients); for γ ≤ 2 it falls back to the full unit.
+func decodeBitUnitsInterior(unit []byte) byte {
+	if len(unit) > 2 {
+		unit = unit[1 : len(unit)-1]
+	}
+	return MajorityBit(unit)
+}
+
+// decodeSymbolUnits majority-votes symbol values excluding the first
+// symbol of the unit (the paper: "the first modulated ZigBee symbol maybe
+// not as expected").
+func decodeSymbolUnits(unit []byte) byte {
+	if len(unit) > 1 {
+		unit = unit[1:]
+	}
+	return MajorityByte(unit)
+}
+
+// decodeUnitValues splits the demodulated per-symbol values into units
+// and recovers productive and tag bits: the reference unit's value is the
+// productive bit; every other unit's tag bit is 1 iff its value differs
+// from the reference.
+func decodeUnitValues(plan *Plan, vals []byte, decide unitDecider) Result {
+	res := Result{
+		Productive: make([]byte, 0, plan.Sequences),
+		Tag:        make([]byte, 0, plan.TagCapacity()),
+	}
+	ups := plan.UnitsPerSequence()
+	for seq := 0; seq < plan.Sequences; seq++ {
+		base := seq * plan.Kappa
+		if base >= len(vals) {
+			break
+		}
+		unitVal := func(u int) byte {
+			s := base + u*plan.Gamma
+			e := s + plan.Gamma
+			if s >= len(vals) {
+				return 0
+			}
+			if e > len(vals) {
+				e = len(vals)
+			}
+			return decide(vals[s:e])
+		}
+		ref := unitVal(0)
+		// The reference value maps to the productive bit: bit values are
+		// 0/1 directly; ZigBee symbol values 0x0/0x1 likewise. A flipped
+		// (non-0/1) reference would decode arbitrarily — report its LSB.
+		res.Productive = append(res.Productive, ref&1)
+		for u := 1; u < ups; u++ {
+			if unitVal(u) != ref {
+				res.Tag = append(res.Tag, 1)
+			} else {
+				res.Tag = append(res.Tag, 0)
+			}
+		}
+	}
+	return res
+}

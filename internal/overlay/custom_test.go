@@ -1,0 +1,169 @@
+package overlay
+
+import (
+	"math"
+	"testing"
+
+	"multiscatter/internal/radio"
+)
+
+func TestNewCustomPlanValidation(t *testing.T) {
+	if _, err := NewCustomPlan(radio.ProtocolUnknown, 2, 4, []byte{1}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if _, err := NewCustomPlan(radio.ProtocolBLE, 0, 4, []byte{1}); err == nil {
+		t.Fatal("γ=0 accepted")
+	}
+	if _, err := NewCustomPlan(radio.ProtocolBLE, 2, 3, []byte{1}); err == nil {
+		t.Fatal("κ not multiple of γ accepted")
+	}
+	if _, err := NewCustomPlan(radio.ProtocolBLE, 2, 2, []byte{1}); err == nil {
+		t.Fatal("single-unit sequence accepted")
+	}
+	if _, err := NewCustomPlan(radio.ProtocolBLE, 2, 4, nil); err == nil {
+		t.Fatal("empty productive accepted")
+	}
+	plan, err := NewCustomPlan(radio.ProtocolBLE, 2, 6, []byte{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.UnitsPerSequence() != 3 || plan.TagBitsPerSequence() != 2 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestCustomPlanRoundTrip(t *testing.T) {
+	// A non-default γ/κ combination must still round-trip through the
+	// real codec.
+	codec, _ := NewCodec(radio.ProtocolBLE)
+	plan, err := NewCustomPlan(radio.ProtocolBLE, 3, 9, []byte{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := []byte{1, 0, 0, 1, 1, 0}
+	carrier, err := codec.Build(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec.ApplyTag(carrier, tag)
+	res, err := codec.Decode(carrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, te := res.BitErrors(plan, tag)
+	if pe != 0 || te != 0 {
+		t.Fatalf("custom plan errors: productive %d, tag %d", pe, te)
+	}
+}
+
+func TestCustomThroughputMatchesModes(t *testing.T) {
+	// CustomThroughput at Table 6's (γ, κ) must equal ModeThroughput.
+	for _, p := range radio.Protocols {
+		g := Gammas[p]
+		tr := DefaultTraffic(p)
+		for _, m := range []Mode{Mode1, Mode2} {
+			k := Kappa(p, m, 0)
+			a := ModeThroughput(p, m, tr, 0, 0)
+			b := CustomThroughput(p, g, k, tr, 0, 0)
+			if math.Abs(a.ProductiveKbps-b.ProductiveKbps) > 1e-9 ||
+				math.Abs(a.TagKbps-b.TagKbps) > 1e-9 {
+				t.Errorf("%v %v: custom %+v != mode %+v", p, m, b, a)
+			}
+		}
+	}
+}
+
+func TestCustomThroughputKappaContinuum(t *testing.T) {
+	// As κ grows, tag share rises and productive share falls,
+	// monotonically.
+	p := radio.Protocol80211b
+	tr := DefaultTraffic(p)
+	g := Gammas[p]
+	prevProd, prevTag := math.Inf(1), 0.0
+	for units := 2; units <= 16; units *= 2 {
+		k := units * g
+		tp := CustomThroughput(p, g, k, tr, 0, 0)
+		if tp.ProductiveKbps >= prevProd {
+			t.Fatalf("productive not decreasing at κ=%d", k)
+		}
+		if tp.TagKbps <= prevTag {
+			t.Fatalf("tag not increasing at κ=%d", k)
+		}
+		prevProd, prevTag = tp.ProductiveKbps, tp.TagKbps
+	}
+	// Degenerate parameters return zero.
+	if CustomThroughput(p, 0, 4, tr, 0, 0).Aggregate() != 0 {
+		t.Fatal("γ=0 should yield zero")
+	}
+}
+
+func TestTagBERForGammaImproves(t *testing.T) {
+	// Larger γ lowers tag BER at fixed SNR for every protocol.
+	snr := 1.2
+	for _, p := range radio.Protocols {
+		prev := 1.0
+		for g := 1; g <= 9; g += 2 {
+			ber := TagBERForGamma(p, g, snr)
+			if ber > prev+1e-12 {
+				t.Errorf("%v: BER rose at γ=%d (%v > %v)", p, g, ber, prev)
+			}
+			prev = ber
+		}
+		if TagBERForGamma(p, 0, snr) != TagBERForGamma(p, 1, snr) {
+			t.Errorf("%v: γ=0 should clamp to 1", p)
+		}
+	}
+	// The ZigBee γ=3 rule: with the first symbol of each unit excluded
+	// (the paper: "the first modulated ZigBee symbol maybe not as
+	// expected"), γ=3 leaves two clean votes and lands at the symbol BER
+	// itself — the paper's "γ = 3 achieves BERs around 0.1%". γ=5 then
+	// adds real voting gain.
+	z3 := TagBERForGamma(radio.ProtocolZigBee, 3, 0.8)
+	z5 := TagBERForGamma(radio.ProtocolZigBee, 5, 0.8)
+	if !(z5 < z3/2) {
+		t.Fatalf("ZigBee γ=5 (%v) should far outperform γ=3 (%v)", z5, z3)
+	}
+	if z3 > 0.01 {
+		t.Fatalf("ZigBee γ=3 BER %v should be sub-1%% at working SNR", z3)
+	}
+}
+
+func TestChooseGamma(t *testing.T) {
+	// The paper's BER target.
+	const target = 0.1
+	// BLE can never meet the target with γ < 3 (edge transients), so
+	// the chooser must return ≥ 3 even at high SNR.
+	g, ok := ChooseGamma(radio.ProtocolBLE, 100, target, 8)
+	if !ok || g < 3 {
+		t.Fatalf("BLE γ = %d ok=%v, want ≥ 3", g, ok)
+	}
+	// ZigBee needs γ ≥ 2 (first-symbol damage).
+	g, ok = ChooseGamma(radio.ProtocolZigBee, 100, target, 8)
+	if !ok || g < 2 {
+		t.Fatalf("ZigBee γ = %d ok=%v, want ≥ 2", g, ok)
+	}
+	// At high SNR the PSK protocols get away with γ = 1.
+	for _, p := range []radio.Protocol{radio.Protocol80211b, radio.Protocol80211n} {
+		if g, ok := ChooseGamma(p, 100, target, 8); !ok || g != 1 {
+			t.Fatalf("%v γ = %d ok=%v at high SNR", p, g, ok)
+		}
+	}
+	// γ grows as SNR falls (monotone requirement).
+	prev := 0
+	for _, snrDB := range []float64{10, 0, -6, -9} {
+		snr := math.Pow(10, snrDB/10)
+		g, _ := ChooseGamma(radio.Protocol80211b, snr, target, 16)
+		if g < prev {
+			t.Fatalf("γ shrank as SNR fell: %d after %d", g, prev)
+		}
+		prev = g
+	}
+	// Impossible target → maxGamma, not ok.
+	if g, ok := ChooseGamma(radio.ProtocolBLE, 1e-6, 1e-9, 6); ok || g != 6 {
+		t.Fatalf("impossible target: γ=%d ok=%v", g, ok)
+	}
+	// Degenerate maxGamma clamps.
+	if g, _ := ChooseGamma(radio.Protocol80211b, 100, target, 0); g != 1 {
+		t.Fatalf("maxGamma 0: γ=%d", g)
+	}
+}

@@ -1,0 +1,50 @@
+package overlay
+
+import (
+	"testing"
+
+	"multiscatter/internal/radio"
+)
+
+func FuzzPlanInvariants(f *testing.F) {
+	f.Add(uint8(1), uint8(2), uint8(4), []byte{1, 0})
+	f.Add(uint8(3), uint8(4), uint8(8), []byte{1})
+	f.Fuzz(func(t *testing.T, protoRaw, gammaRaw, kappaRaw uint8, productive []byte) {
+		proto := radio.Protocol(protoRaw%4 + 1)
+		gamma := int(gammaRaw%8) + 1
+		kappa := int(kappaRaw)
+		if len(productive) > 32 {
+			productive = productive[:32]
+		}
+		plan, err := NewCustomPlan(proto, gamma, kappa, productive)
+		if err != nil {
+			return // invalid inputs are expected to be rejected
+		}
+		// Accepted plans must be internally consistent.
+		if plan.Kappa%plan.Gamma != 0 {
+			t.Fatal("κ not a multiple of γ")
+		}
+		if plan.UnitsPerSequence() < 2 {
+			t.Fatal("fewer than 2 units per sequence")
+		}
+		if got := len(plan.SymbolValues()); got != plan.TotalSymbols() {
+			t.Fatalf("symbol values %d != total symbols %d", got, plan.TotalSymbols())
+		}
+		for tb := 0; tb < plan.TagCapacity(); tb++ {
+			s, e, ok := plan.TagSymbolRange(tb)
+			if !ok {
+				t.Fatalf("tag bit %d unroutable", tb)
+			}
+			if s >= e || e > plan.TotalSymbols() {
+				t.Fatalf("tag bit %d range [%d,%d) out of bounds", tb, s, e)
+			}
+			if e-s != plan.Gamma {
+				t.Fatalf("tag bit %d spans %d symbols, want γ=%d", tb, e-s, plan.Gamma)
+			}
+			// A tag unit must never overlap a reference unit.
+			if _, unit := plan.UnitIndex(s); unit == 0 {
+				t.Fatalf("tag bit %d lands on a reference unit", tb)
+			}
+		}
+	})
+}

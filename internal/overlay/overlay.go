@@ -1,0 +1,208 @@
+// Package overlay implements multiscatter's overlay modulation (§2.4):
+// tag data is modulated on top of productive carriers built from
+// modulatable sequences, and a single commodity receiver decodes both.
+//
+// Structure. A carrier payload is divided into sequences of κ PHY
+// symbols. Each sequence consists of κ/γ units of γ identical symbols:
+// the first unit is the reference unit carrying one productive bit, and
+// each remaining unit is modulatable — the tag flips the whole unit
+// (phase π for 802.11b/n and ZigBee, a Δf FSK shift for BLE) to convey
+// one tag bit. Decoding compares each modulatable unit's demodulated
+// content against the reference unit of its sequence, so no second
+// receiver and no original-channel packet is needed.
+//
+// κ is the productive-data spread factor and γ the tag-data spread
+// factor; Table 6's three operating modes are κ = 2γ, κ = 4γ, and
+// κ = γ·n (a single sequence spanning the whole payload).
+package overlay
+
+import (
+	"fmt"
+
+	"multiscatter/internal/radio"
+)
+
+// Mode selects a Table 6 operating point.
+type Mode int
+
+const (
+	// Mode1 balances productive and tag data (κ = 2γ).
+	Mode1 Mode = 1
+	// Mode2 triples tag data relative to productive (κ = 4γ).
+	Mode2 Mode = 2
+	// Mode3 maximizes tag data: one reference unit per packet (κ = γ·n).
+	Mode3 Mode = 3
+)
+
+// String names the mode.
+func (m Mode) String() string { return fmt.Sprintf("mode %d", int(m)) }
+
+// Gammas are the per-protocol tag spreading factors of Table 6, chosen
+// empirically by the paper for the best throughput at BER < 10⁻¹.
+var Gammas = map[radio.Protocol]int{
+	radio.Protocol80211b: 4,
+	radio.Protocol80211n: 2,
+	radio.ProtocolBLE:    4,
+	radio.ProtocolZigBee: 2,
+}
+
+// Kappa returns the productive spread factor κ for a protocol and mode.
+// payloadUnits is the total number of γ-symbol units available in the
+// packet payload (only used by Mode3).
+func Kappa(p radio.Protocol, m Mode, payloadUnits int) int {
+	g := Gammas[p]
+	switch m {
+	case Mode2:
+		return 4 * g
+	case Mode3:
+		if payloadUnits < 2 {
+			payloadUnits = 2
+		}
+		return g * payloadUnits
+	default:
+		return 2 * g
+	}
+}
+
+// Plan fixes the sequence structure of one carrier packet.
+type Plan struct {
+	// Protocol of the carrier.
+	Protocol radio.Protocol
+	// Gamma is the tag spreading factor (symbols per unit).
+	Gamma int
+	// Kappa is the sequence length in symbols.
+	Kappa int
+	// Sequences is the number of sequences in the packet.
+	Sequences int
+	// Productive holds one bit per sequence (the reference units'
+	// contents).
+	Productive []byte
+}
+
+// UnitsPerSequence returns κ/γ.
+func (p *Plan) UnitsPerSequence() int { return p.Kappa / p.Gamma }
+
+// TagBitsPerSequence returns the modulatable units per sequence.
+func (p *Plan) TagBitsPerSequence() int { return p.UnitsPerSequence() - 1 }
+
+// TagCapacity returns the total tag bits the packet can carry.
+func (p *Plan) TagCapacity() int { return p.Sequences * p.TagBitsPerSequence() }
+
+// TotalSymbols returns the PHY symbols consumed by all sequences.
+func (p *Plan) TotalSymbols() int { return p.Sequences * p.Kappa }
+
+// NewPlan builds a plan carrying the given productive bits. Each
+// productive bit occupies one sequence; the caller sizes the packet.
+func NewPlan(proto radio.Protocol, m Mode, productive []byte) (*Plan, error) {
+	g, ok := Gammas[proto]
+	if !ok {
+		return nil, fmt.Errorf("overlay: no γ for %v", proto)
+	}
+	if len(productive) == 0 {
+		return nil, fmt.Errorf("overlay: empty productive payload")
+	}
+	units := 0
+	if m == Mode3 {
+		// One sequence spanning everything: κ scales with a nominal
+		// payload so only one productive bit is carried.
+		units = 16
+		productive = productive[:1]
+	}
+	k := Kappa(proto, m, units)
+	plan := &Plan{
+		Protocol:   proto,
+		Gamma:      g,
+		Kappa:      k,
+		Sequences:  len(productive),
+		Productive: append([]byte(nil), productive...),
+	}
+	for i, b := range plan.Productive {
+		plan.Productive[i] = b & 1
+	}
+	return plan, nil
+}
+
+// SymbolValues expands the plan into the per-symbol content values the
+// carrier generator must emit: symbol i of the packet payload carries
+// value Productive[i/κ] (every unit of a sequence repeats the reference
+// content — that is what makes the κ−1 trailing units modulatable).
+func (p *Plan) SymbolValues() []byte {
+	out := make([]byte, 0, p.TotalSymbols())
+	for _, b := range p.Productive {
+		for i := 0; i < p.Kappa; i++ {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// UnitIndex locates the sequence and unit of PHY payload symbol i.
+func (p *Plan) UnitIndex(i int) (seq, unit int) {
+	return i / p.Kappa, (i % p.Kappa) / p.Gamma
+}
+
+// TagSymbolRange returns the payload-symbol index range [start, end) of
+// tag bit t (the t-th modulatable unit across the packet). It returns
+// ok=false when t exceeds the packet's tag capacity.
+func (p *Plan) TagSymbolRange(t int) (start, end int, ok bool) {
+	per := p.TagBitsPerSequence()
+	if per <= 0 || t < 0 || t >= p.TagCapacity() {
+		return 0, 0, false
+	}
+	seq := t / per
+	unit := 1 + t%per // unit 0 is the reference
+	start = seq*p.Kappa + unit*p.Gamma
+	return start, start + p.Gamma, true
+}
+
+// MajorityBit returns the majority vote over bits (1 wins ties).
+func MajorityBit(bits []byte) byte {
+	ones := 0
+	for _, b := range bits {
+		if b&1 == 1 {
+			ones++
+		}
+	}
+	if 2*ones >= len(bits) {
+		return 1
+	}
+	return 0
+}
+
+// MajorityByte returns the most frequent value (smallest value wins
+// ties), used for ZigBee symbol-value voting.
+func MajorityByte(vals []byte) byte {
+	if len(vals) == 0 {
+		return 0
+	}
+	counts := map[byte]int{}
+	for _, v := range vals {
+		counts[v]++
+	}
+	best, bestN := vals[0], 0
+	for v, n := range counts {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	return best
+}
+
+// Result is the outcome of single-receiver overlay decoding.
+type Result struct {
+	// Productive bits recovered from the reference units.
+	Productive []byte
+	// Tag bits recovered from unit comparisons.
+	Tag []byte
+}
+
+// BitErrors compares the result against the transmitted plan and tag
+// bits, returning (productive errors, tag errors).
+func (r Result) BitErrors(plan *Plan, tag []byte) (int, int) {
+	pe := radio.HammingDistance(r.Productive, plan.Productive)
+	if len(tag) > plan.TagCapacity() {
+		tag = tag[:plan.TagCapacity()]
+	}
+	te := radio.HammingDistance(r.Tag, tag)
+	return pe, te
+}

@@ -1,0 +1,322 @@
+package overlay
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multiscatter/internal/channel"
+	"multiscatter/internal/phy/dsss"
+	"multiscatter/internal/phy/ofdm"
+	"multiscatter/internal/radio"
+)
+
+func TestKappaTable6(t *testing.T) {
+	// Table 6: κ values per protocol and mode.
+	cases := []struct {
+		p      radio.Protocol
+		m      Mode
+		expect int
+	}{
+		{radio.Protocol80211b, Mode1, 8},
+		{radio.Protocol80211b, Mode2, 16},
+		{radio.Protocol80211n, Mode1, 4},
+		{radio.Protocol80211n, Mode2, 8},
+		{radio.ProtocolBLE, Mode1, 8},
+		{radio.ProtocolBLE, Mode2, 16},
+		{radio.ProtocolZigBee, Mode1, 4},
+		{radio.ProtocolZigBee, Mode2, 8},
+	}
+	for _, c := range cases {
+		if got := Kappa(c.p, c.m, 0); got != c.expect {
+			t.Errorf("κ(%v, %v) = %d, want %d", c.p, c.m, got, c.expect)
+		}
+	}
+	// Mode 3: κ = γ·n.
+	if got := Kappa(radio.Protocol80211b, Mode3, 100); got != 400 {
+		t.Errorf("mode-3 κ = %d, want 400", got)
+	}
+}
+
+func TestGammasTable6(t *testing.T) {
+	want := map[radio.Protocol]int{
+		radio.Protocol80211b: 4,
+		radio.Protocol80211n: 2,
+		radio.ProtocolBLE:    4,
+		radio.ProtocolZigBee: 2,
+	}
+	for p, g := range want {
+		if Gammas[p] != g {
+			t.Errorf("γ(%v) = %d, want %d", p, Gammas[p], g)
+		}
+	}
+}
+
+func TestPlanStructure(t *testing.T) {
+	plan, err := NewPlan(radio.ProtocolBLE, Mode1, []byte{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kappa != 8 || plan.Gamma != 4 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan.UnitsPerSequence() != 2 || plan.TagBitsPerSequence() != 1 {
+		t.Fatal("mode-1 sequence should be 1 ref + 1 modulatable unit")
+	}
+	if plan.TagCapacity() != 3 || plan.TotalSymbols() != 24 {
+		t.Fatalf("capacity = %d, symbols = %d", plan.TagCapacity(), plan.TotalSymbols())
+	}
+	vals := plan.SymbolValues()
+	if len(vals) != 24 {
+		t.Fatalf("symbol values = %d", len(vals))
+	}
+	for i, v := range vals {
+		want := plan.Productive[i/8]
+		if v != want {
+			t.Fatalf("symbol %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestPlanMode3SingleBit(t *testing.T) {
+	plan, err := NewPlan(radio.Protocol80211n, Mode3, []byte{1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Sequences != 1 {
+		t.Fatalf("mode 3 must carry one sequence, got %d", plan.Sequences)
+	}
+	if plan.TagBitsPerSequence() != 15 {
+		t.Fatalf("tag bits = %d, want 15", plan.TagBitsPerSequence())
+	}
+}
+
+func TestNewPlanErrors(t *testing.T) {
+	if _, err := NewPlan(radio.ProtocolUnknown, Mode1, []byte{1}); err == nil {
+		t.Fatal("unknown protocol should error")
+	}
+	if _, err := NewPlan(radio.ProtocolBLE, Mode1, nil); err == nil {
+		t.Fatal("empty productive payload should error")
+	}
+}
+
+func TestTagSymbolRange(t *testing.T) {
+	plan, _ := NewPlan(radio.ProtocolZigBee, Mode2, []byte{0, 1})
+	// κ=8, γ=2: units per seq 4, tag bits per seq 3.
+	s, e, ok := plan.TagSymbolRange(0)
+	if !ok || s != 2 || e != 4 {
+		t.Fatalf("tag 0 range = [%d,%d) ok=%v", s, e, ok)
+	}
+	// Tag bit 3 is the first modulatable unit of sequence 1.
+	s, e, ok = plan.TagSymbolRange(3)
+	if !ok || s != 10 || e != 12 {
+		t.Fatalf("tag 3 range = [%d,%d) ok=%v", s, e, ok)
+	}
+	if _, _, ok := plan.TagSymbolRange(6); ok {
+		t.Fatal("out-of-capacity range should fail")
+	}
+	if _, _, ok := plan.TagSymbolRange(-1); ok {
+		t.Fatal("negative index should fail")
+	}
+}
+
+func TestMajorityHelpers(t *testing.T) {
+	if MajorityBit([]byte{1, 1, 0}) != 1 || MajorityBit([]byte{0, 0, 1}) != 0 {
+		t.Fatal("MajorityBit wrong")
+	}
+	if MajorityBit([]byte{1, 0}) != 1 {
+		t.Fatal("MajorityBit tie should favor 1")
+	}
+	if MajorityByte([]byte{3, 3, 7}) != 3 {
+		t.Fatal("MajorityByte wrong")
+	}
+	if MajorityByte(nil) != 0 {
+		t.Fatal("MajorityByte nil")
+	}
+}
+
+func roundTripCodec(t *testing.T, proto radio.Protocol, mode Mode, productive, tag []byte, snrDB float64, seed int64) (Result, *Plan) {
+	t.Helper()
+	codec, err := NewCodec(proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(proto, mode, productive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carrier, err := codec.Build(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec.ApplyTag(carrier, tag)
+	if snrDB > 0 {
+		channel.AWGN(carrier.Waveform.IQ, snrDB, rand.New(rand.NewSource(seed)))
+	}
+	res, err := codec.Decode(carrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, plan
+}
+
+func TestCodecRoundTripCleanAllProtocols(t *testing.T) {
+	productive := []byte{1, 0, 1, 1, 0, 0, 1, 0}
+	tag := []byte{0, 1, 1, 0, 1, 0, 0, 1}
+	for _, proto := range radio.Protocols {
+		for _, mode := range []Mode{Mode1, Mode2} {
+			plan, err := NewPlan(proto, mode, productive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullTag := make([]byte, plan.TagCapacity())
+			copy(fullTag, tag)
+			for i := len(tag); i < len(fullTag); i++ {
+				fullTag[i] = byte(i % 2)
+			}
+			res, plan := roundTripCodec(t, proto, mode, productive, fullTag, 0, 0)
+			pe, te := res.BitErrors(plan, fullTag)
+			if pe != 0 {
+				t.Errorf("%v %v: %d productive errors (got %v want %v)",
+					proto, mode, pe, res.Productive, plan.Productive)
+			}
+			if te != 0 {
+				t.Errorf("%v %v: %d tag errors (got %v)", proto, mode, te, res.Tag)
+			}
+			if len(res.Tag) != plan.TagCapacity() {
+				t.Errorf("%v %v: decoded %d tag bits, capacity %d",
+					proto, mode, len(res.Tag), plan.TagCapacity())
+			}
+		}
+	}
+}
+
+func TestCodecRoundTripMode3(t *testing.T) {
+	for _, proto := range radio.Protocols {
+		tag := []byte{1, 0, 1, 1, 0, 1, 0, 0, 1, 1, 0, 1, 0, 1, 1}
+		res, plan := roundTripCodec(t, proto, Mode3, []byte{1}, tag, 0, 0)
+		pe, te := res.BitErrors(plan, tag)
+		if pe != 0 || te != 0 {
+			t.Errorf("%v mode3: productive errors %d, tag errors %d", proto, pe, te)
+		}
+	}
+}
+
+func TestCodecRoundTripNoisy(t *testing.T) {
+	// At 18 dB SNR the γ-spread tag data must survive on every protocol.
+	productive := []byte{1, 0, 1, 0}
+	tag := []byte{1, 1, 0, 1}
+	for _, proto := range radio.Protocols {
+		res, plan := roundTripCodec(t, proto, Mode1, productive, tag, 18, 99)
+		pe, te := res.BitErrors(plan, tag)
+		if pe != 0 || te != 0 {
+			t.Errorf("%v noisy: productive errors %d, tag errors %d (%v / %v)",
+				proto, pe, te, res.Productive, res.Tag)
+		}
+	}
+}
+
+func TestCodecZeroTagBitsDecodeZero(t *testing.T) {
+	// With no tag modulation, every decoded tag bit must be 0 (no false
+	// flips from the carrier itself).
+	for _, proto := range radio.Protocols {
+		res, plan := roundTripCodec(t, proto, Mode2, []byte{1, 0, 1}, nil, 0, 0)
+		for i, b := range res.Tag {
+			if b != 0 {
+				t.Errorf("%v: tag bit %d = 1 without modulation", proto, i)
+			}
+		}
+		if pe, _ := res.BitErrors(plan, make([]byte, plan.TagCapacity())); pe != 0 {
+			t.Errorf("%v: productive corrupted without tag modulation", proto)
+		}
+	}
+}
+
+func TestNewCodecUnknown(t *testing.T) {
+	if _, err := NewCodec(radio.ProtocolUnknown); err == nil {
+		t.Fatal("unknown protocol should error")
+	}
+}
+
+func TestPropertyCodecRoundTrip(t *testing.T) {
+	// Random productive/tag payloads round-trip clean on 802.11b (the
+	// fastest codec) across modes.
+	codec, _ := NewCodec(radio.Protocol80211b)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		productive := make([]byte, n)
+		for i := range productive {
+			productive[i] = byte(rng.Intn(2))
+		}
+		mode := Mode(1 + rng.Intn(2))
+		plan, err := NewPlan(radio.Protocol80211b, mode, productive)
+		if err != nil {
+			return false
+		}
+		tag := make([]byte, plan.TagCapacity())
+		for i := range tag {
+			tag[i] = byte(rng.Intn(2))
+		}
+		carrier, err := codec.Build(plan)
+		if err != nil {
+			return false
+		}
+		codec.ApplyTag(carrier, tag)
+		res, err := codec.Decode(carrier)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(res.Productive, plan.Productive) && bytes.Equal(res.Tag, tag)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefModulationCodecsRoundTrip(t *testing.T) {
+	// Figure 17: BPSK-based tag modulation is compatible with every
+	// reference-symbol modulation. All variants must round-trip tag and
+	// productive data cleanly and under moderate noise.
+	productive := []byte{1, 0, 1, 1, 0}
+	codecs := []struct {
+		name  string
+		codec Codec
+	}{
+		{"DSSS-BPSK", NewDSSSCodec(dsss.Rate1Mbps)},
+		{"DSSS-DQPSK", NewDSSSCodec(dsss.Rate2Mbps)},
+		{"CCK-5.5", NewDSSSCodec(dsss.Rate5_5Mbps)},
+		{"OFDM-BPSK", NewOFDMCodec(ofdm.BPSK)},
+		{"OFDM-QPSK", NewOFDMCodec(ofdm.QPSK)},
+		{"OFDM-16QAM", NewOFDMCodec(ofdm.QAM16)},
+	}
+	for _, tc := range codecs {
+		for _, snr := range []float64{0, 18} { // 0 disables noise
+			plan, err := NewPlan(tc.codec.Protocol(), Mode1, productive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tag := make([]byte, plan.TagCapacity())
+			for i := range tag {
+				tag[i] = byte((i + 1) % 2)
+			}
+			carrier, err := tc.codec.Build(plan)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			tc.codec.ApplyTag(carrier, tag)
+			if snr > 0 {
+				channel.AWGN(carrier.Waveform.IQ, snr, rand.New(rand.NewSource(42)))
+			}
+			res, err := tc.codec.Decode(carrier)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			pe, te := res.BitErrors(plan, tag)
+			if pe != 0 || te != 0 {
+				t.Errorf("%s snr=%v: productive errors %d, tag errors %d", tc.name, snr, pe, te)
+			}
+		}
+	}
+}

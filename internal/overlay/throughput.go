@@ -1,0 +1,163 @@
+package overlay
+
+import (
+	"time"
+
+	"multiscatter/internal/radio"
+)
+
+// SymbolDuration returns the PHY symbol duration used by overlay
+// accounting: 1 µs DSSS symbols for 802.11b at 1 Mbps, 4 µs OFDM symbols
+// for 802.11n, 1 µs bits for BLE LE 1M, and 16 µs PN symbols for ZigBee.
+func SymbolDuration(p radio.Protocol) time.Duration {
+	switch p {
+	case radio.Protocol80211n:
+		return 4 * time.Microsecond
+	case radio.ProtocolZigBee:
+		return 16 * time.Microsecond
+	default:
+		return time.Microsecond
+	}
+}
+
+// Traffic describes the carrier's packet pattern for throughput
+// accounting.
+type Traffic struct {
+	// PayloadSymbols is the modulatable payload length per packet in
+	// PHY symbols.
+	PayloadSymbols int
+	// OverheadUS is the per-packet PHY overhead (preamble + headers) in
+	// microseconds.
+	OverheadUS float64
+	// GapUS is the inter-packet gap (IFS, backoff, turnaround) in
+	// microseconds.
+	GapUS float64
+	// MaxPacketRate caps the packet rate in packets/s; 0 means the
+	// carrier is saturated (back-to-back packets).
+	MaxPacketRate float64
+}
+
+// DefaultTraffic returns the calibrated carrier pattern for each
+// protocol, chosen to match the paper's experimental setup (§3): 250-byte
+// 802.11b frames at 1 Mbps with DIFS+backoff, 1.6 ms 802.11n MCS0
+// airtime, 37-byte BLE advertising PDUs blasted back-to-back, and
+// 200-byte ZigBee frames with the CC2530's inter-frame latency.
+func DefaultTraffic(p radio.Protocol) Traffic {
+	switch p {
+	case radio.Protocol80211b:
+		return Traffic{PayloadSymbols: 2000, OverheadUS: 192, GapUS: 300}
+	case radio.Protocol80211n:
+		return Traffic{PayloadSymbols: 400, OverheadUS: 36, GapUS: 400}
+	case radio.ProtocolBLE:
+		return Traffic{PayloadSymbols: 296, OverheadUS: 40, GapUS: 0}
+	case radio.ProtocolZigBee:
+		return Traffic{PayloadSymbols: 400, OverheadUS: 224, GapUS: 1000}
+	default:
+		return Traffic{PayloadSymbols: 256, OverheadUS: 100, GapUS: 100}
+	}
+}
+
+// PacketDuration returns the on-air time of one packet.
+func (t Traffic) PacketDuration(p radio.Protocol) time.Duration {
+	sym := SymbolDuration(p)
+	return time.Duration(t.OverheadUS*1e3)*time.Nanosecond + time.Duration(t.PayloadSymbols)*sym
+}
+
+// PacketRate returns the achieved packets/s.
+func (t Traffic) PacketRate(p radio.Protocol) float64 {
+	period := t.PacketDuration(p).Seconds() + t.GapUS*1e-6
+	if period <= 0 {
+		return 0
+	}
+	rate := 1 / period
+	if t.MaxPacketRate > 0 && t.MaxPacketRate < rate {
+		rate = t.MaxPacketRate
+	}
+	return rate
+}
+
+// Throughput is a productive/tag data-rate pair in kbps.
+type Throughput struct {
+	// ProductiveKbps is the excitation's own data rate through the
+	// overlay structure.
+	ProductiveKbps float64
+	// TagKbps is the backscattered tag data rate.
+	TagKbps float64
+}
+
+// Aggregate returns the combined rate.
+func (t Throughput) Aggregate() float64 { return t.ProductiveKbps + t.TagKbps }
+
+// ModeThroughput computes the overlay throughput for a protocol and mode
+// under the given traffic, with independent packet error rates for the
+// productive and tag channels (a lost packet loses both).
+func ModeThroughput(p radio.Protocol, m Mode, t Traffic, perProductive, perTag float64) Throughput {
+	g, ok := Gammas[p]
+	if !ok || t.PayloadSymbols <= 0 {
+		return Throughput{}
+	}
+	units := t.PayloadSymbols / g
+	k := Kappa(p, m, units)
+	seqs := t.PayloadSymbols / k
+	if seqs < 1 {
+		return Throughput{}
+	}
+	prodBits := float64(seqs)
+	tagBits := float64(seqs * (k/g - 1))
+	rate := t.PacketRate(p)
+	return Throughput{
+		ProductiveKbps: prodBits * rate * clamp01(1-perProductive) / 1e3,
+		TagKbps:        tagBits * rate * clamp01(1-perTag) / 1e3,
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// TagBERForSNR maps a post-despreading symbol SNR (linear) to the tag-bit
+// error rate for a protocol, accounting for the γ-repetition majority
+// vote and the per-protocol unit decision statistics. snr is the
+// per-symbol decision SNR at the receiver.
+func TagBERForSNR(p radio.Protocol, snr float64) float64 {
+	g := Gammas[p]
+	perSymbol := symbolErrorRate(p, snr)
+	// The unit decision excludes transient edge symbols (BLE interior,
+	// ZigBee first symbol); model the vote over the usable symbols.
+	usable := g
+	switch p {
+	case radio.ProtocolBLE:
+		if g > 2 {
+			usable = g - 2
+		}
+	case radio.ProtocolZigBee:
+		if g > 1 {
+			usable = g - 1
+		}
+	}
+	return repetitionError(perSymbol, usable)
+}
+
+// symbolErrorRate gives the per-symbol decision error under the
+// protocol's modulation family.
+func symbolErrorRate(p radio.Protocol, snr float64) float64 {
+	switch p {
+	case radio.Protocol80211n:
+		// Majority over the middle 26 subcarriers of a BPSK symbol.
+		return repetitionError(berBPSK(snr), 26)
+	case radio.ProtocolZigBee:
+		// 32-chip despreading gain before the symbol decision.
+		return berDSSSSymbol(snr)
+	case radio.ProtocolBLE:
+		return berFSK(snr)
+	default:
+		// Barker-despread DBPSK.
+		return berDBPSK(snr * 11)
+	}
+}

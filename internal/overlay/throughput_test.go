@@ -1,0 +1,148 @@
+package overlay
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"multiscatter/internal/radio"
+)
+
+func TestSymbolDurations(t *testing.T) {
+	if SymbolDuration(radio.Protocol80211b) != time.Microsecond {
+		t.Fatal("11b symbol")
+	}
+	if SymbolDuration(radio.Protocol80211n) != 4*time.Microsecond {
+		t.Fatal("11n symbol")
+	}
+	if SymbolDuration(radio.ProtocolBLE) != time.Microsecond {
+		t.Fatal("BLE symbol")
+	}
+	if SymbolDuration(radio.ProtocolZigBee) != 16*time.Microsecond {
+		t.Fatal("ZigBee symbol")
+	}
+}
+
+func TestMode1AggregatesMatchPaperShape(t *testing.T) {
+	// Figure 13c: aggregate mode-1 throughputs at short range order as
+	// BLE > 802.11b > 802.11n > ZigBee, with the paper's values
+	// 278.4 / 219.8 / 101.2 / 26.2 kbps.
+	get := func(p radio.Protocol) Throughput {
+		return ModeThroughput(p, Mode1, DefaultTraffic(p), 0, 0)
+	}
+	ble := get(radio.ProtocolBLE).Aggregate()
+	b11 := get(radio.Protocol80211b).Aggregate()
+	n11 := get(radio.Protocol80211n).Aggregate()
+	zig := get(radio.ProtocolZigBee).Aggregate()
+	if !(ble > b11 && b11 > n11 && n11 > zig) {
+		t.Fatalf("ordering violated: BLE=%v 11b=%v 11n=%v ZigBee=%v", ble, b11, n11, zig)
+	}
+	// Absolute sanity: each within 35% of the paper's value.
+	checks := map[string][2]float64{
+		"BLE":     {ble, 278.4},
+		"802.11b": {b11, 219.8},
+		"802.11n": {n11, 101.2},
+		"ZigBee":  {zig, 26.2},
+	}
+	for name, c := range checks {
+		if math.Abs(c[0]-c[1])/c[1] > 0.35 {
+			t.Errorf("%s aggregate %v kbps, paper %v (off by >35%%)", name, c[0], c[1])
+		}
+	}
+}
+
+func TestMode1Balanced(t *testing.T) {
+	// Mode 1 splits productive and tag data 1:1 for every protocol.
+	for _, p := range radio.Protocols {
+		tp := ModeThroughput(p, Mode1, DefaultTraffic(p), 0, 0)
+		if math.Abs(tp.ProductiveKbps-tp.TagKbps) > 1e-9 {
+			t.Errorf("%v mode 1 unbalanced: %v vs %v", p, tp.ProductiveKbps, tp.TagKbps)
+		}
+	}
+}
+
+func TestMode2TagTriples(t *testing.T) {
+	for _, p := range radio.Protocols {
+		tp := ModeThroughput(p, Mode2, DefaultTraffic(p), 0, 0)
+		if tp.ProductiveKbps <= 0 {
+			t.Fatalf("%v mode 2 productive = %v", p, tp.ProductiveKbps)
+		}
+		ratio := tp.TagKbps / tp.ProductiveKbps
+		if math.Abs(ratio-3) > 1e-9 {
+			t.Errorf("%v mode 2 tag:productive = %v, want 3", p, ratio)
+		}
+	}
+}
+
+func TestMode3MaximizesTag(t *testing.T) {
+	for _, p := range radio.Protocols {
+		m1 := ModeThroughput(p, Mode1, DefaultTraffic(p), 0, 0)
+		m3 := ModeThroughput(p, Mode3, DefaultTraffic(p), 0, 0)
+		if !(m3.TagKbps > m1.TagKbps) {
+			t.Errorf("%v mode 3 tag %v not above mode 1 %v", p, m3.TagKbps, m1.TagKbps)
+		}
+		if !(m3.ProductiveKbps < m1.ProductiveKbps/2) {
+			t.Errorf("%v mode 3 productive %v should collapse (mode 1 %v)",
+				p, m3.ProductiveKbps, m1.ProductiveKbps)
+		}
+	}
+}
+
+func TestPERScalesThroughput(t *testing.T) {
+	p := radio.Protocol80211b
+	clean := ModeThroughput(p, Mode1, DefaultTraffic(p), 0, 0)
+	lossy := ModeThroughput(p, Mode1, DefaultTraffic(p), 0.5, 0.25)
+	if math.Abs(lossy.ProductiveKbps-clean.ProductiveKbps/2) > 1e-9 {
+		t.Fatal("productive PER scaling wrong")
+	}
+	if math.Abs(lossy.TagKbps-clean.TagKbps*0.75) > 1e-9 {
+		t.Fatal("tag PER scaling wrong")
+	}
+	// PER ≥ 1 zeroes it.
+	dead := ModeThroughput(p, Mode1, DefaultTraffic(p), 1, 2)
+	if dead.ProductiveKbps != 0 || dead.TagKbps != 0 {
+		t.Fatal("PER 1 should zero throughput")
+	}
+}
+
+func TestMaxPacketRateCaps(t *testing.T) {
+	tr := DefaultTraffic(radio.ProtocolBLE)
+	sat := tr.PacketRate(radio.ProtocolBLE)
+	tr.MaxPacketRate = 34 // Figure 16's real-world advertising rate
+	if got := tr.PacketRate(radio.ProtocolBLE); got != 34 {
+		t.Fatalf("capped rate = %v", got)
+	}
+	if sat <= 34 {
+		t.Fatalf("saturated BLE rate %v should exceed 34 pkt/s", sat)
+	}
+}
+
+func TestTagBERMonotone(t *testing.T) {
+	for _, p := range radio.Protocols {
+		prev := 1.0
+		for db := -5.0; db <= 15; db += 1 {
+			snr := math.Pow(10, db/10)
+			ber := TagBERForSNR(p, snr)
+			if ber > prev+1e-12 {
+				t.Errorf("%v TagBER not monotone at %v dB", p, db)
+			}
+			if ber < 0 || ber > 0.5+1e-12 {
+				t.Errorf("%v TagBER out of range: %v", p, ber)
+			}
+			prev = ber
+		}
+		// High SNR → effectively error-free.
+		if ber := TagBERForSNR(p, math.Pow(10, 2)); ber > 1e-6 {
+			t.Errorf("%v TagBER at 20 dB = %v", p, ber)
+		}
+	}
+}
+
+func TestModeThroughputDegenerate(t *testing.T) {
+	if tp := ModeThroughput(radio.ProtocolUnknown, Mode1, Traffic{PayloadSymbols: 100}, 0, 0); tp.Aggregate() != 0 {
+		t.Fatal("unknown protocol should yield zero")
+	}
+	if tp := ModeThroughput(radio.ProtocolBLE, Mode1, Traffic{}, 0, 0); tp.Aggregate() != 0 {
+		t.Fatal("zero payload should yield zero")
+	}
+}

@@ -1,0 +1,78 @@
+package ble
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"multiscatter/internal/radio"
+)
+
+func delayed(w radio.Waveform, delay int, sigma float64, seed int64) radio.Waveform {
+	rng := rand.New(rand.NewSource(seed))
+	iq := make([]complex128, delay, delay+len(w.IQ))
+	for i := range iq {
+		iq[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * 0.01
+	}
+	iq = append(iq, w.IQ...)
+	for i := range iq {
+		iq[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	return radio.Waveform{IQ: iq, Rate: w.Rate}
+}
+
+func TestReceiveFrameBLE(t *testing.T) {
+	cfg := Config{}
+	// A realistic advertising PDU: header (type + length), AdvA, AdvData.
+	pdu := append([]byte{0x02, 0x09}, []byte{0xC0, 0xFF, 0xEE, 0x00, 0x00, 0x01, 0x02, 0x01, 0x06}...)
+	mod := NewModulator(cfg)
+	w, _ := mod.Modulate(radio.Packet{Payload: pdu})
+	rx := delayed(w, 211, 0.03, 3)
+	frame, err := ReceiveFrame(rx, cfg, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.StartSample != 211 {
+		t.Fatalf("start = %d", frame.StartSample)
+	}
+	if !bytes.Equal(frame.PDU, pdu) {
+		t.Fatalf("PDU %x != %x", frame.PDU, pdu)
+	}
+}
+
+func TestReceiveFrameBLENoWhitening(t *testing.T) {
+	cfg := Config{NoWhitening: true}
+	pdu := []byte{0x00, 0x03, 0xAA, 0xBB, 0xCC}
+	mod := NewModulator(cfg)
+	w, _ := mod.Modulate(radio.Packet{Payload: pdu})
+	frame, err := ReceiveFrame(w, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame.PDU, pdu) {
+		t.Fatal("no-whitening PDU mismatch")
+	}
+}
+
+func TestReceiveFrameBLENoFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	iq := make([]complex128, 5000)
+	for i := range iq {
+		iq[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	if _, err := ReceiveFrame(radio.Waveform{IQ: iq, Rate: 8e6}, Config{}, 2000); !errors.Is(err, ErrNoFrame) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReceiveFrameBLETruncated(t *testing.T) {
+	cfg := Config{}
+	pdu := []byte{0x02, 0x08, 1, 2, 3, 4, 5, 6, 7, 8}
+	mod := NewModulator(cfg)
+	w, _ := mod.Modulate(radio.Packet{Payload: pdu})
+	w.IQ = w.IQ[:len(w.IQ)*2/3]
+	if _, err := ReceiveFrame(w, cfg, 8); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}

@@ -1,0 +1,273 @@
+package dsss
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multiscatter/internal/radio"
+)
+
+func modemRoundTrip(t *testing.T, rate Rate, payload []byte) {
+	t.Helper()
+	cfg := Config{Rate: rate}
+	mod := NewModulator(cfg)
+	w, info := mod.Modulate(radio.Packet{Protocol: radio.Protocol80211b, Payload: payload})
+	dem := NewDemodulator(cfg)
+	bits, err := dem.Demodulate(w, info)
+	if err != nil {
+		t.Fatalf("%v: demodulate: %v", rate, err)
+	}
+	want := radio.BytesToBits(payload)
+	if !bytes.Equal(bits, want) {
+		t.Fatalf("%v: payload mismatch: ber=%v", rate, radio.BitErrorRate(bits, want))
+	}
+}
+
+func TestRoundTripAllRates(t *testing.T) {
+	payload := []byte("multiscatter 802.11b test payload!")
+	for _, r := range []Rate{Rate1Mbps, Rate2Mbps, Rate5_5Mbps, Rate11Mbps} {
+		modemRoundTrip(t, r, payload)
+	}
+}
+
+func TestRoundTripShortPreamble(t *testing.T) {
+	cfg := Config{Rate: Rate2Mbps, ShortPreamble: true}
+	mod := NewModulator(cfg)
+	payload := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	w, info := mod.Modulate(radio.Packet{Payload: payload})
+	bits, err := NewDemodulator(cfg).Demodulate(w, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bits, radio.BytesToBits(payload)) {
+		t.Fatal("short-preamble round trip failed")
+	}
+}
+
+func TestPreambleDurations(t *testing.T) {
+	// Long preamble: 144 bits at 1 Mbps = 144 µs.
+	mod := NewModulator(Config{})
+	w, info := mod.Modulate(radio.Packet{Payload: []byte{0}})
+	gotUS := float64(info.PreambleEnd) / w.Rate * 1e6
+	if math.Abs(gotUS-144) > 1e-9 {
+		t.Fatalf("long preamble = %v µs, want 144", gotUS)
+	}
+	// Header: 48 more bits = 48 µs.
+	hdrUS := float64(info.HeaderEnd-info.PreambleEnd) / w.Rate * 1e6
+	if math.Abs(hdrUS-48) > 1e-9 {
+		t.Fatalf("header = %v µs, want 48", hdrUS)
+	}
+	// Short preamble: 72 µs.
+	modS := NewModulator(Config{ShortPreamble: true})
+	wS, infoS := modS.Modulate(radio.Packet{Payload: []byte{0}})
+	gotUS = float64(infoS.PreambleEnd) / wS.Rate * 1e6
+	if math.Abs(gotUS-72) > 1e-9 {
+		t.Fatalf("short preamble = %v µs, want 72", gotUS)
+	}
+}
+
+func TestSymbolLayout(t *testing.T) {
+	payload := make([]byte, 25)
+	for _, tc := range []struct {
+		rate    Rate
+		symbols int
+		spsym   int
+	}{
+		{Rate1Mbps, 200, 22},  // 200 bits, 11 chips * 2 spc
+		{Rate2Mbps, 100, 22},  // 2 bits/symbol
+		{Rate5_5Mbps, 50, 16}, // 4 bits/symbol, 8 chips * 2
+		{Rate11Mbps, 25, 16},  // 8 bits/symbol
+	} {
+		mod := NewModulator(Config{Rate: tc.rate})
+		_, info := mod.Modulate(radio.Packet{Payload: payload})
+		if got := info.NumSymbols(); got != tc.symbols {
+			t.Errorf("%v: symbols = %d, want %d", tc.rate, got, tc.symbols)
+		}
+		if info.SamplesPerSymbol != tc.spsym {
+			t.Errorf("%v: samples/symbol = %d, want %d", tc.rate, info.SamplesPerSymbol, tc.spsym)
+		}
+		// Symbols are contiguous.
+		for i := 1; i < len(info.SymbolStart); i++ {
+			if info.SymbolStart[i]-info.SymbolStart[i-1] != info.SamplesPerSymbol {
+				t.Fatalf("%v: symbol %d not contiguous", tc.rate, i)
+			}
+		}
+	}
+}
+
+func TestConstantEnvelopeBarker(t *testing.T) {
+	// DSSS-BPSK output has constant envelope: every sample magnitude 1.
+	mod := NewModulator(Config{Rate: Rate1Mbps})
+	w, _ := mod.Modulate(radio.Packet{Payload: []byte{0xA5}})
+	for i, v := range w.IQ {
+		mag := math.Hypot(real(v), imag(v))
+		if math.Abs(mag-1) > 1e-9 {
+			t.Fatalf("sample %d magnitude %v", i, mag)
+		}
+	}
+}
+
+func TestOverlayPhaseFlipFlipsBits(t *testing.T) {
+	// Flipping a payload symbol's phase by π must flip exactly the bits
+	// decided from that symbol boundary (DBPSK differential: flipping
+	// symbol k toggles bits k and k+1). This is the physical mechanism of
+	// multiscatter tag modulation on 802.11b. Raw (unscrambled) mode is
+	// what the overlay carrier generator uses.
+	cfg := Config{Rate: Rate1Mbps, NoScramble: true}
+	payload := []byte{0x00, 0x00}
+	mod := NewModulator(cfg)
+	w, info := mod.Modulate(radio.Packet{Payload: payload})
+	// Flip symbol 4.
+	k := 4
+	start := info.SymbolStart[k]
+	for i := start; i < start+info.SamplesPerSymbol; i++ {
+		w.IQ[i] = -w.IQ[i]
+	}
+	bits, err := NewDemodulator(cfg).Demodulate(w, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := radio.BytesToBits(payload)
+	diff := radio.XORBits(bits, want)
+	flipped := []int{}
+	for i, d := range diff {
+		if d == 1 {
+			flipped = append(flipped, i)
+		}
+	}
+	if len(flipped) != 2 || flipped[0] != k || flipped[1] != k+1 {
+		t.Fatalf("flipped bits = %v, want [%d %d]", flipped, k, k+1)
+	}
+}
+
+func TestScramblerTriplesFlips(t *testing.T) {
+	// With the standard scrambler on, the same single-symbol flip
+	// propagates through the self-synchronizing descrambler: each raw
+	// flip also toggles the outputs 4 and 7 bits later, so 2 raw flips
+	// become up to 6 descrambled flips. This error multiplication is one
+	// reason overlay modulation works on raw PHY symbols.
+	cfg := Config{Rate: Rate1Mbps}
+	payload := []byte{0x00, 0x00}
+	mod := NewModulator(cfg)
+	w, info := mod.Modulate(radio.Packet{Payload: payload})
+	start := info.SymbolStart[4]
+	for i := start; i < start+info.SamplesPerSymbol; i++ {
+		w.IQ[i] = -w.IQ[i]
+	}
+	bits, err := NewDemodulator(cfg).Demodulate(w, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flips := radio.HammingDistance(bits, radio.BytesToBits(payload))
+	if flips != 6 {
+		t.Fatalf("descrambled flips = %d, want 6", flips)
+	}
+}
+
+func TestRateProperties(t *testing.T) {
+	if Rate1Mbps.BitsPerSymbol() != 1 || Rate11Mbps.BitsPerSymbol() != 8 {
+		t.Fatal("BitsPerSymbol wrong")
+	}
+	if Rate1Mbps.ChipsPerSymbol() != 11 || Rate5_5Mbps.ChipsPerSymbol() != 8 {
+		t.Fatal("ChipsPerSymbol wrong")
+	}
+	if Rate2Mbps.BitRate() != 2e6 || Rate5_5Mbps.BitRate() != 5.5e6 {
+		t.Fatal("BitRate wrong")
+	}
+	for _, r := range []Rate{Rate1Mbps, Rate2Mbps, Rate5_5Mbps, Rate11Mbps, Rate(9)} {
+		if r.String() == "" {
+			t.Fatal("empty String()")
+		}
+	}
+}
+
+func TestDemodulateShortWaveform(t *testing.T) {
+	cfg := Config{Rate: Rate1Mbps}
+	mod := NewModulator(cfg)
+	w, info := mod.Modulate(radio.Packet{Payload: []byte{1, 2, 3}})
+	w.IQ = w.IQ[:len(w.IQ)/2]
+	if _, err := NewDemodulator(cfg).Demodulate(w, info); err == nil {
+		t.Fatal("expected error for truncated waveform")
+	}
+}
+
+func TestRoundTripWithNoise(t *testing.T) {
+	// Moderate AWGN must not break the despreader (Barker gives ~10 dB of
+	// processing gain).
+	cfg := Config{Rate: Rate1Mbps}
+	mod := NewModulator(cfg)
+	payload := []byte{0x12, 0x34, 0x56, 0x78}
+	w, info := mod.Modulate(radio.Packet{Payload: payload})
+	rng := rand.New(rand.NewSource(42))
+	sigma := 0.5 // per-dimension noise, SNR ≈ 3 dB
+	for i := range w.IQ {
+		w.IQ[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	bits, err := NewDemodulator(cfg).Demodulate(w, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber := radio.BitErrorRate(bits, radio.BytesToBits(payload)); ber > 0 {
+		t.Fatalf("BER %v at 3 dB SNR with Barker spreading; want 0", ber)
+	}
+}
+
+func TestPropertyRoundTripRandomPayloads(t *testing.T) {
+	cfg := Config{Rate: Rate2Mbps}
+	mod := NewModulator(cfg)
+	dem := NewDemodulator(cfg)
+	f := func(payload []byte) bool {
+		if len(payload) == 0 {
+			payload = []byte{0}
+		}
+		if len(payload) > 64 {
+			payload = payload[:64]
+		}
+		w, info := mod.Modulate(radio.Packet{Payload: payload})
+		bits, err := dem.Demodulate(w, info)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(bits, radio.BytesToBits(payload))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreambleBitsStable(t *testing.T) {
+	m := NewModulator(Config{})
+	a := m.PreambleBits()
+	b := m.PreambleBits()
+	if !bytes.Equal(a, b) {
+		t.Fatal("preamble bits must be deterministic")
+	}
+	if len(a) != 144 {
+		t.Fatalf("long preamble bit count = %d, want 144", len(a))
+	}
+	s := NewModulator(Config{ShortPreamble: true}).PreambleBits()
+	if len(s) != 72 {
+		t.Fatalf("short preamble bit count = %d, want 72", len(s))
+	}
+}
+
+func TestCCKCodewordDistinct(t *testing.T) {
+	// All 16 CCK-5.5 codewords (4 bits) must be distinct waveforms.
+	seen := map[string]bool{}
+	for cand := 0; cand < 16; cand++ {
+		bits := []byte{byte(cand & 1), byte(cand >> 1 & 1), byte(cand >> 2 & 1), byte(cand >> 3 & 1)}
+		dphi, chips := cckChips(Rate5_5Mbps, bits, true)
+		key := ""
+		for _, c := range chips {
+			key += string(rune(int(math.Round(math.Atan2(imag(c), real(c))/(math.Pi/2))) + 65))
+		}
+		key += string(rune(int(math.Round(dphi/(math.Pi/2))) + 65))
+		if seen[key] {
+			t.Fatalf("duplicate CCK codeword for %v", bits)
+		}
+		seen[key] = true
+	}
+}

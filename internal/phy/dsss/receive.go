@@ -1,0 +1,160 @@
+package dsss
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"multiscatter/internal/radio"
+)
+
+// Frame is a fully received 802.11b frame.
+type Frame struct {
+	// Rate the payload was sent at (parsed from the PLCP SIGNAL field).
+	Rate Rate
+	// DurationUS is the PLCP LENGTH field (payload airtime in µs).
+	DurationUS int
+	// Payload bytes after descrambling.
+	Payload []byte
+	// StartSample of the frame in the input waveform.
+	StartSample int
+}
+
+// Errors returned by ReceiveFrame.
+var (
+	// ErrNoFrame: no preamble found.
+	ErrNoFrame = errors.New("dsss: no frame found")
+	// ErrSFD: the start frame delimiter did not match.
+	ErrSFD = errors.New("dsss: SFD mismatch")
+	// ErrHeaderCRC: the PLCP header CRC-16 failed.
+	ErrHeaderCRC = errors.New("dsss: PLCP header CRC mismatch")
+)
+
+// ReceiveFrame runs the complete 802.11b receive chain on an unaligned
+// waveform: preamble synchronization, PLCP header parse (SIGNAL rate,
+// LENGTH, CRC-16), and payload demodulation at the indicated rate. Only
+// long-preamble frames are handled (the paper's 1 Mbps experiments use
+// them). cfg.Rate is ignored — the rate comes from the SIGNAL field.
+func ReceiveFrame(w radio.Waveform, cfg Config, maxOffset int) (*Frame, error) {
+	cfg.ShortPreamble = false
+	start, _ := Synchronize(w, cfg, maxOffset)
+	if start < 0 {
+		return nil, ErrNoFrame
+	}
+	iq := w.IQ[start:]
+	spc := cfg.samplesPerChip()
+	symLen := 11 * spc
+
+	// 144 preamble bits + 48 header bits, all 1 Mbps DBPSK.
+	const preBits, hdrBits = 144, 48
+	need := (preBits + hdrBits) * symLen
+	if len(iq) < need {
+		return nil, ErrNoFrame
+	}
+	raw := make([]byte, 0, preBits+hdrBits)
+	prev := complex(1, 0) // the first symbol's reference phase
+	for s := 0; s < preBits+hdrBits; s++ {
+		cur := despreadBarker(iq[s*symLen:(s+1)*symLen], spc)
+		if diffReal(cur, prev) < 0 {
+			raw = append(raw, 1)
+		} else {
+			raw = append(raw, 0)
+		}
+		prev = cur
+	}
+	// The first demodulated bit's phase reference is arbitrary; the
+	// scrambled-SYNC pattern is known, so align polarity on it.
+	ref := NewModulator(Config{}).PreambleBits()
+	agree := 0
+	for i := 1; i < preBits; i++ {
+		if raw[i] == ref[i] {
+			agree++
+		}
+	}
+	if agree < (preBits-1)*3/4 {
+		return nil, ErrNoFrame
+	}
+
+	// Descramble the whole stream (self-synchronizing; state settles
+	// within 7 bits of the SYNC field).
+	des := &radio.Scrambler80211b{}
+	bits := des.DescrambleBits(raw)
+
+	// SFD: bits 128..144 must be 0xF3A0 LSB-first.
+	var sfd uint16
+	for i := 0; i < 16; i++ {
+		sfd |= uint16(bits[128+i]&1) << uint(i)
+	}
+	if sfd != sfdLong {
+		return nil, ErrSFD
+	}
+
+	// PLCP header: SIGNAL, SERVICE, LENGTH(16), CRC(16).
+	hdr := radio.BitsToBytes(bits[preBits : preBits+32])
+	crcGot := uint16(bits[preBits+32]&1) | anyBitsToU16(bits[preBits+33:preBits+48])<<1
+	if radio.CRC16CCITT(hdr) != crcGot {
+		return nil, ErrHeaderCRC
+	}
+	var rate Rate
+	switch hdr[0] {
+	case 0x0A:
+		rate = Rate1Mbps
+	case 0x14:
+		rate = Rate2Mbps
+	case 0x37:
+		rate = Rate5_5Mbps
+	case 0x6E:
+		rate = Rate11Mbps
+	default:
+		return nil, fmt.Errorf("dsss: SIGNAL %#02x unknown", hdr[0])
+	}
+	durUS := int(hdr[2]) | int(hdr[3])<<8
+
+	// Payload layout at the signalled rate, honouring the 11 Mbps
+	// length-extension bit.
+	payloadBits := int(math.Floor(float64(durUS) * rate.BitRate() / 1e6))
+	payloadBytes := payloadBits / 8
+	if rate == Rate11Mbps && hdr[1]&0x80 != 0 {
+		payloadBytes--
+	}
+	if payloadBytes < 0 {
+		payloadBytes = 0
+	}
+	payloadBits = payloadBytes * 8
+	bps := rate.BitsPerSymbol()
+	nSym := (payloadBits + bps - 1) / bps
+	info := &FrameInfo{
+		Rate:             rate,
+		SampleRate:       cfg.SampleRate(),
+		PreambleEnd:      preBits * symLen,
+		HeaderEnd:        (preBits + hdrBits) * symLen,
+		SamplesPerSymbol: rate.ChipsPerSymbol() * spc,
+		PayloadBits:      payloadBits,
+	}
+	off := info.HeaderEnd
+	for s := 0; s < nSym; s++ {
+		info.SymbolStart = append(info.SymbolStart, off)
+		off += info.SamplesPerSymbol
+	}
+	payloadCfg := cfg
+	payloadCfg.Rate = rate
+	pbits, err := NewDemodulator(payloadCfg).Demodulate(radio.Waveform{IQ: iq, Rate: w.Rate}, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Frame{
+		Rate:        rate,
+		DurationUS:  durUS,
+		Payload:     radio.BitsToBytes(pbits),
+		StartSample: start,
+	}, nil
+}
+
+// anyBitsToU16 packs up to 15 bits LSB-first.
+func anyBitsToU16(bits []byte) uint16 {
+	var v uint16
+	for i, b := range bits {
+		v |= uint16(b&1) << uint(i)
+	}
+	return v
+}

@@ -1,0 +1,107 @@
+package dsss
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"multiscatter/internal/radio"
+)
+
+// noisyDelayed prepends delay noise samples and adds light AWGN.
+func noisyDelayed(w radio.Waveform, delay int, sigma float64, seed int64) radio.Waveform {
+	rng := rand.New(rand.NewSource(seed))
+	iq := make([]complex128, delay, delay+len(w.IQ))
+	for i := range iq {
+		iq[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * 0.01
+	}
+	iq = append(iq, w.IQ...)
+	for i := range iq {
+		iq[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	return radio.Waveform{IQ: iq, Rate: w.Rate}
+}
+
+func TestReceiveFrameAllRates(t *testing.T) {
+	payloads := map[Rate][]byte{
+		Rate1Mbps:   []byte("one megabit payload"),
+		Rate2Mbps:   []byte("two megabit payload!"),
+		Rate5_5Mbps: []byte("five-five CCK payload"),
+		Rate11Mbps:  []byte("eleven megabit CCK payload"),
+	}
+	for rate, payload := range payloads {
+		mod := NewModulator(Config{Rate: rate})
+		w, _ := mod.Modulate(radio.Packet{Payload: payload})
+		rx := noisyDelayed(w, 173, 0.05, int64(rate)+1)
+		frame, err := ReceiveFrame(rx, Config{}, 400)
+		if err != nil {
+			t.Fatalf("%v: %v", rate, err)
+		}
+		if frame.Rate != rate {
+			t.Fatalf("%v: SIGNAL parsed as %v", rate, frame.Rate)
+		}
+		if frame.StartSample != 173 {
+			t.Fatalf("%v: start = %d", rate, frame.StartSample)
+		}
+		if !bytes.Equal(frame.Payload, payload) {
+			t.Fatalf("%v: payload %q != %q", rate, frame.Payload, payload)
+		}
+	}
+}
+
+func TestReceiveFrame11MbpsLengthExtension(t *testing.T) {
+	// Byte counts around the 8/11 ambiguity must all round-trip.
+	for n := 1; n <= 23; n++ {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(0xC0 + i)
+		}
+		mod := NewModulator(Config{Rate: Rate11Mbps})
+		w, _ := mod.Modulate(radio.Packet{Payload: payload})
+		frame, err := ReceiveFrame(w, Config{}, 4)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(frame.Payload) != n {
+			t.Fatalf("n=%d: received %d bytes", n, len(frame.Payload))
+		}
+		if !bytes.Equal(frame.Payload, payload) {
+			t.Fatalf("n=%d: payload mismatch", n)
+		}
+	}
+}
+
+func TestReceiveFrameNoFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	iq := make([]complex128, 8000)
+	for i := range iq {
+		iq[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	_, err := ReceiveFrame(radio.Waveform{IQ: iq, Rate: 22e6}, Config{}, 2000)
+	if !errors.Is(err, ErrNoFrame) {
+		t.Fatalf("err = %v, want ErrNoFrame", err)
+	}
+	// Truncated right after the preamble → still no frame.
+	mod := NewModulator(Config{})
+	w, info := mod.Modulate(radio.Packet{Payload: []byte{1}})
+	w.IQ = w.IQ[:info.PreambleEnd/2]
+	if _, err := ReceiveFrame(w, Config{}, 4); err == nil {
+		t.Fatal("truncated waveform accepted")
+	}
+}
+
+func TestReceiveFrameBadHeaderCRC(t *testing.T) {
+	mod := NewModulator(Config{Rate: Rate1Mbps})
+	w, info := mod.Modulate(radio.Packet{Payload: []byte{1, 2, 3}})
+	// Corrupt a header symbol (π flip) — the CRC must catch it.
+	symLen := 22
+	hdrSym := info.PreambleEnd + 5*symLen
+	for i := hdrSym; i < hdrSym+symLen; i++ {
+		w.IQ[i] = -w.IQ[i]
+	}
+	_, err := ReceiveFrame(w, Config{}, 4)
+	if !errors.Is(err, ErrHeaderCRC) {
+		t.Fatalf("err = %v, want ErrHeaderCRC", err)
+	}
+}

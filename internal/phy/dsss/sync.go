@@ -1,0 +1,34 @@
+package dsss
+
+import (
+	"multiscatter/internal/dsp"
+	"multiscatter/internal/radio"
+)
+
+// Synchronize locates the start of an 802.11b frame in w by matched-
+// filtering against the deterministic PLCP preamble waveform (the
+// scrambled SYNC field is a fixed pattern, so the whole preamble is a
+// known reference). It returns the sample offset of the frame start and
+// the normalized detection score; offset −1 means no plausible preamble
+// within maxOffset samples.
+func Synchronize(w radio.Waveform, cfg Config, maxOffset int) (int, float64) {
+	ref := referencePreamble(cfg)
+	// Correlating the full 144 µs preamble is unnecessary; the first
+	// 24 µs of scrambled SYNC is unambiguous.
+	n := 24 * 11 * cfg.samplesPerChip()
+	if n > len(ref) {
+		n = len(ref)
+	}
+	off, score := dsp.CrossCorrPeak(w.IQ, ref[:n], maxOffset)
+	if score < 0.5 {
+		return -1, score
+	}
+	return off, score
+}
+
+// referencePreamble synthesizes the preamble section for cfg.
+func referencePreamble(cfg Config) []complex128 {
+	m := NewModulator(cfg)
+	w, info := m.Modulate(radio.Packet{Payload: []byte{0}})
+	return w.IQ[:info.PreambleEnd]
+}

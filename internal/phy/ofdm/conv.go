@@ -1,0 +1,114 @@
+package ofdm
+
+// The 802.11 binary convolutional code: rate 1/2, constraint length 7,
+// generator polynomials g0 = 133o, g1 = 171o. ConvEncode appends ConvTail
+// zero bits to flush the encoder; ViterbiDecode performs hard-decision
+// maximum-likelihood decoding over the full trellis.
+
+const (
+	convK = 7
+	// ConvTail is the number of flush bits appended by ConvEncode.
+	ConvTail = convK - 1
+
+	g0 = 0o133
+	g1 = 0o171
+)
+
+func parity(x uint32) byte {
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return byte(x & 1)
+}
+
+// ConvEncode encodes bits with the 802.11 rate-1/2 BCC, appending
+// ConvTail zero flush bits. The output has 2*(len(bits)+ConvTail) bits.
+func ConvEncode(bits []byte) []byte {
+	out := make([]byte, 0, 2*(len(bits)+ConvTail))
+	var state uint32
+	emit := func(b byte) {
+		state = ((state << 1) | uint32(b&1)) & 0x7F
+		out = append(out, parity(state&g0), parity(state&g1))
+	}
+	for _, b := range bits {
+		emit(b)
+	}
+	for i := 0; i < ConvTail; i++ {
+		emit(0)
+	}
+	return out
+}
+
+// ViterbiDecode decodes a hard-decision bit stream produced by ConvEncode
+// (including the tail), returning the information bits without the tail.
+// Odd trailing bits are ignored.
+func ViterbiDecode(coded []byte) []byte {
+	n := len(coded) / 2
+	if n <= ConvTail {
+		return nil
+	}
+	const states = 1 << (convK - 1) // 64
+	const inf = int32(1) << 30
+
+	metric := make([]int32, states)
+	next := make([]int32, states)
+	for i := 1; i < states; i++ {
+		metric[i] = inf
+	}
+	// Backpointers: one byte (input bit) + predecessor implied by shift.
+	decisions := make([][]byte, n)
+
+	for t := 0; t < n; t++ {
+		r0, r1 := coded[2*t], coded[2*t+1]
+		dec := make([]byte, states)
+		for i := range next {
+			next[i] = inf
+		}
+		for s := 0; s < states; s++ {
+			if metric[s] >= inf {
+				continue
+			}
+			for in := uint32(0); in <= 1; in++ {
+				full := (uint32(s)<<1 | in) & 0x7F
+				o0, o1 := parity(full&g0), parity(full&g1)
+				var cost int32
+				// Depunctured erasures (value ≥ 2) match either
+				// hypothesis at zero cost.
+				if r0 < 2 && o0 != r0&1 {
+					cost++
+				}
+				if r1 < 2 && o1 != r1&1 {
+					cost++
+				}
+				ns := int(full & (states - 1))
+				m := metric[s] + cost
+				if m < next[ns] {
+					next[ns] = m
+					dec[ns] = byte(s>>(convK-2))<<1 | byte(in)
+				}
+			}
+		}
+		decisions[t] = dec
+		metric, next = next, metric
+	}
+
+	// Trace back from state 0 (the tail flushes the encoder to zero).
+	best := 0
+	for s := 1; s < states; s++ {
+		if metric[s] < metric[best] {
+			best = s
+		}
+	}
+	state := best
+	out := make([]byte, n)
+	for t := n - 1; t >= 0; t-- {
+		d := decisions[t][state]
+		in := d & 1
+		out[t] = in
+		// Predecessor: shift the input bit out and the stored MSB in.
+		state = (state >> 1) | int(d>>1)<<(convK-2)
+	}
+	return out[:n-ConvTail]
+}

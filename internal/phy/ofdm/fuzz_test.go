@@ -1,0 +1,40 @@
+package ofdm
+
+import (
+	"bytes"
+	"testing"
+
+	"multiscatter/internal/radio"
+)
+
+func FuzzViterbiRoundTrip(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF, 0x13})
+	f.Add([]byte("conv"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 64 {
+			return
+		}
+		bits := radio.BytesToBits(data)
+		got := ViterbiDecode(ConvEncode(bits))
+		if !bytes.Equal(got, bits) {
+			t.Fatalf("clean Viterbi round trip failed for %x", data)
+		}
+	})
+}
+
+func FuzzViterbiRobustness(f *testing.F) {
+	// Arbitrary (even corrupt) coded streams must never panic and must
+	// return at most the implied payload length.
+	f.Add([]byte{0x00, 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, coded []byte) {
+		if len(coded) > 512 {
+			return
+		}
+		bits := radio.BytesToBits(coded)
+		out := ViterbiDecode(bits)
+		if want := len(bits)/2 - ConvTail; want > 0 && len(out) != want {
+			t.Fatalf("output length %d, want %d", len(out), want)
+		}
+	})
+}

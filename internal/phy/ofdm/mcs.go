@@ -1,0 +1,154 @@
+package ofdm
+
+import "fmt"
+
+// CodeRate selects the convolutional code rate via puncturing of the
+// rate-1/2 mother code (IEEE 802.11-2016 §17.3.5.6).
+type CodeRate int
+
+const (
+	// R12 is the unpunctured rate 1/2.
+	R12 CodeRate = iota
+	// R23 punctures to rate 2/3.
+	R23
+	// R34 punctures to rate 3/4.
+	R34
+	// R56 punctures to rate 5/6.
+	R56
+)
+
+// String names the rate.
+func (r CodeRate) String() string {
+	switch r {
+	case R23:
+		return "2/3"
+	case R34:
+		return "3/4"
+	case R56:
+		return "5/6"
+	default:
+		return "1/2"
+	}
+}
+
+// Fraction returns the information/coded bit ratio.
+func (r CodeRate) Fraction() float64 {
+	switch r {
+	case R23:
+		return 2.0 / 3
+	case R34:
+		return 3.0 / 4
+	case R56:
+		return 5.0 / 6
+	default:
+		return 0.5
+	}
+}
+
+// puncturePattern returns the standard keep-mask over the interleaved
+// (A, B) coded stream, one period long.
+func (r CodeRate) puncturePattern() []bool {
+	switch r {
+	case R23:
+		// A: 1 1 / B: 1 0, interleaved a0 b0 a1 b1.
+		return []bool{true, true, true, false}
+	case R34:
+		// A: 1 1 0 / B: 1 0 1.
+		return []bool{true, true, true, false, false, true}
+	case R56:
+		// A: 1 1 0 1 0 / B: 1 0 1 0 1.
+		return []bool{true, true, true, false, false, true, true, false, false, true}
+	default:
+		return []bool{true}
+	}
+}
+
+// Puncture drops coded bits per the rate's pattern.
+func Puncture(coded []byte, r CodeRate) []byte {
+	pat := r.puncturePattern()
+	if r == R12 {
+		return coded
+	}
+	out := make([]byte, 0, len(coded))
+	for i, b := range coded {
+		if pat[i%len(pat)] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Erasure marks a depunctured position for the Viterbi decoder: it
+// matches both hypotheses at zero cost.
+const Erasure byte = 2
+
+// Depuncture re-inserts erasure marks at the punctured positions so the
+// stream regains the mother code's 2-bits-per-step cadence.
+func Depuncture(punctured []byte, r CodeRate) []byte {
+	pat := r.puncturePattern()
+	if r == R12 {
+		return punctured
+	}
+	out := make([]byte, 0, len(punctured)*2)
+	j := 0
+	for i := 0; j < len(punctured); i++ {
+		if pat[i%len(pat)] {
+			out = append(out, punctured[j])
+			j++
+		} else {
+			out = append(out, Erasure)
+		}
+	}
+	// Complete the final period with erasures so the length is even.
+	for len(out)%2 != 0 {
+		out = append(out, Erasure)
+	}
+	return out
+}
+
+// MCS is an 802.11n HT-20 modulation-and-coding scheme index (single
+// stream, 800 ns GI).
+type MCS int
+
+// Params returns the constellation and code rate of the MCS.
+func (m MCS) Params() (Modulation, CodeRate, error) {
+	switch m {
+	case 0:
+		return BPSK, R12, nil
+	case 1:
+		return QPSK, R12, nil
+	case 2:
+		return QPSK, R34, nil
+	case 3:
+		return QAM16, R12, nil
+	case 4:
+		return QAM16, R34, nil
+	case 5:
+		return QAM64, R23, nil
+	case 6:
+		return QAM64, R34, nil
+	case 7:
+		return QAM64, R56, nil
+	default:
+		return BPSK, R12, fmt.Errorf("ofdm: MCS %d unsupported", int(m))
+	}
+}
+
+// DataRateMbps returns the nominal HT-20 single-stream rate.
+func (m MCS) DataRateMbps() float64 {
+	mod, rate, err := m.Params()
+	if err != nil {
+		return 0
+	}
+	bits := float64(DataSubcarriers()*mod.BitsPerSubcarrier()) * rate.Fraction()
+	return bits / 4e-6 / 1e6
+}
+
+// ConfigForMCS returns a coded modem configuration for the MCS.
+func ConfigForMCS(m MCS) (Config, error) {
+	mod, rate, err := m.Params()
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{Modulation: mod, Coded: true, Rate: rate}, nil
+}

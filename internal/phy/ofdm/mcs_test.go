@@ -1,0 +1,167 @@
+package ofdm
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"multiscatter/internal/radio"
+)
+
+func TestMCSTable(t *testing.T) {
+	// HT-20 single-stream, 800 ns GI nominal rates.
+	want := map[MCS]float64{
+		0: 6.5, 1: 13, 2: 19.5, 3: 26, 4: 39, 5: 52, 6: 58.5, 7: 65,
+	}
+	for m, rate := range want {
+		if got := m.DataRateMbps(); math.Abs(got-rate) > 0.01 {
+			t.Errorf("MCS%d rate = %v Mbps, want %v", int(m), got, rate)
+		}
+	}
+	if MCS(8).DataRateMbps() != 0 {
+		t.Fatal("unsupported MCS should report 0")
+	}
+	if _, err := ConfigForMCS(9); err == nil {
+		t.Fatal("unsupported MCS accepted")
+	}
+}
+
+func TestCodeRateMeta(t *testing.T) {
+	for _, r := range []CodeRate{R12, R23, R34, R56} {
+		if r.String() == "" {
+			t.Fatal("empty rate name")
+		}
+		if f := r.Fraction(); f < 0.5 || f > 5.0/6+1e-12 {
+			t.Fatalf("%v fraction = %v", r, f)
+		}
+	}
+}
+
+func TestPunctureDepunctureRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, r := range []CodeRate{R12, R23, R34, R56} {
+		coded := make([]byte, 240)
+		for i := range coded {
+			coded[i] = byte(rng.Intn(2))
+		}
+		p := Puncture(coded, r)
+		// The punctured length must match the rate fraction.
+		wantLen := int(float64(len(coded))*0.5/r.Fraction() + 0.5)
+		if math.Abs(float64(len(p)-wantLen)) > 1 {
+			t.Errorf("%v: punctured %d of %d, want ≈%d", r, len(p), len(coded), wantLen)
+		}
+		d := Depuncture(p, r)
+		if len(d) < len(coded) {
+			t.Fatalf("%v: depunctured %d < %d", r, len(d), len(coded))
+		}
+		// Non-erasure positions must round-trip.
+		for i := 0; i < len(coded); i++ {
+			if d[i] == Erasure {
+				continue
+			}
+			if d[i] != coded[i] {
+				t.Fatalf("%v: position %d corrupted", r, i)
+			}
+		}
+	}
+}
+
+func TestViterbiWithErasures(t *testing.T) {
+	// The decoder must reconstruct through depunctured erasures.
+	rng := rand.New(rand.NewSource(8))
+	bits := make([]byte, 120)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	for _, r := range []CodeRate{R23, R34, R56} {
+		mother := Depuncture(Puncture(ConvEncode(bits), r), r)
+		got := ViterbiDecode(mother)
+		if len(got) > len(bits) {
+			got = got[:len(bits)]
+		}
+		if !bytes.Equal(got, bits) {
+			t.Fatalf("rate %v: BER %v", r, radio.BitErrorRate(got, bits))
+		}
+	}
+}
+
+func TestRoundTripAllMCS(t *testing.T) {
+	payload := []byte("802.11n MCS sweep payload for multiscatter!!")
+	for m := MCS(0); m <= 7; m++ {
+		cfg, err := ConfigForMCS(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod := NewModulator(cfg)
+		w, info := mod.Modulate(radio.Packet{Payload: payload})
+		got, err := NewDemodulator(cfg).Demodulate(w, info)
+		if err != nil {
+			t.Fatalf("MCS%d: %v", int(m), err)
+		}
+		if !bytes.Equal(got, radio.BytesToBits(payload)) {
+			t.Fatalf("MCS%d: BER %v", int(m),
+				radio.BitErrorRate(got, radio.BytesToBits(payload)))
+		}
+	}
+}
+
+func TestMCSNoiseResilienceOrdering(t *testing.T) {
+	// At a fixed noise level, the airtime shrinks with MCS while BER
+	// grows: MCS0 must survive noise that breaks MCS7.
+	payload := make([]byte, 60)
+	rng := rand.New(rand.NewSource(5))
+	for i := range payload {
+		payload[i] = byte(rng.Intn(256))
+	}
+	ber := func(m MCS, sigma float64) float64 {
+		cfg, _ := ConfigForMCS(m)
+		mod := NewModulator(cfg)
+		w, info := mod.Modulate(radio.Packet{Payload: payload})
+		r := rand.New(rand.NewSource(6))
+		for i := range w.IQ {
+			w.IQ[i] += complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+		}
+		got, err := NewDemodulator(cfg).Demodulate(w, info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return radio.BitErrorRate(got, radio.BytesToBits(payload))
+	}
+	const sigma = 0.18 // ≈9 dB SNR
+	if b := ber(0, sigma); b != 0 {
+		t.Fatalf("MCS0 at 9 dB should be clean, BER %v", b)
+	}
+	if b := ber(7, sigma); b == 0 {
+		t.Fatal("MCS7 at 9 dB should break")
+	}
+	// Airtime ordering: MCS7 uses fewer symbols than MCS0.
+	cfg0, _ := ConfigForMCS(0)
+	cfg7, _ := ConfigForMCS(7)
+	_, i0 := NewModulator(cfg0).Modulate(radio.Packet{Payload: payload})
+	_, i7 := NewModulator(cfg7).Modulate(radio.Packet{Payload: payload})
+	if !(i7.NumSymbols() < i0.NumSymbols()/5) {
+		t.Fatalf("MCS7 symbols %d not ≪ MCS0 %d", i7.NumSymbols(), i0.NumSymbols())
+	}
+}
+
+func TestQAM64ConstellationUnitPower(t *testing.T) {
+	var p float64
+	n := 64
+	for v := 0; v < n; v++ {
+		bits := make([]byte, 6)
+		for i := range bits {
+			bits[i] = byte((v >> uint(i)) & 1)
+		}
+		pt := mapConstellation(QAM64, bits)
+		p += real(pt)*real(pt) + imag(pt)*imag(pt)
+		// Round trip.
+		got := demapConstellation(QAM64, pt)
+		if !bytes.Equal(got, bits) {
+			t.Fatalf("64-QAM bits %v -> %v -> %v", bits, pt, got)
+		}
+	}
+	if math.Abs(p/float64(n)-1) > 1e-9 {
+		t.Fatalf("64-QAM average power = %v", p/float64(n))
+	}
+}

@@ -1,0 +1,89 @@
+package zigbee
+
+import (
+	"errors"
+
+	"multiscatter/internal/radio"
+)
+
+// Frame is a fully received 802.15.4 frame.
+type Frame struct {
+	// Length is the PHR frame-length field (payload + 2 FCS bytes by
+	// convention; the simulator's frames omit the FCS on air, as the
+	// paper's experiments disable CRC).
+	Length int
+	// Payload bytes.
+	Payload []byte
+	// SFDSample is the sample index of the start-of-frame delimiter in
+	// the input waveform (the preamble begins 8 symbols earlier).
+	SFDSample int
+}
+
+// ErrNoFrame is returned when no SHR is found.
+var ErrNoFrame = errors.New("zigbee: no frame found")
+
+// ErrLength is returned when the PHR length exceeds the capture.
+var ErrLength = errors.New("zigbee: frame length exceeds capture")
+
+// ReceiveFrame runs the complete 802.15.4 receive chain on an unaligned
+// waveform: SHR synchronization, SFD check, PHR length parse, and
+// payload despreading.
+func ReceiveFrame(w radio.Waveform, cfg Config, maxOffset int) (*Frame, error) {
+	start, _ := Synchronize(w, cfg, maxOffset)
+	if start < 0 {
+		return nil, ErrNoFrame
+	}
+	// The matched filter may lock onto any of the 8 repeated zero
+	// symbols; resolve the ambiguity by scanning forward for the SFD.
+	spc := cfg.spc()
+	spsym := ChipsPerSymbol * spc
+	iq := w.IQ[start:]
+	dem := NewDemodulator(cfg)
+
+	symbolsAt := func(firstSym, n int) ([]DemodSymbol, error) {
+		info := &FrameInfo{
+			SampleRate:       cfg.SampleRate(),
+			SamplesPerSymbol: spsym,
+		}
+		for i := 0; i < n; i++ {
+			info.SymbolStart = append(info.SymbolStart, (firstSym+i)*spsym)
+		}
+		return dem.Demodulate(radio.Waveform{IQ: iq, Rate: w.Rate}, info)
+	}
+
+	// Find the SFD (0x7, 0xA) within the first 12 symbol slots.
+	sfdAt := -1
+	head, err := symbolsAt(0, 12)
+	if err != nil {
+		return nil, ErrNoFrame
+	}
+	for i := 0; i+1 < len(head); i++ {
+		if head[i].Value == 0x7 && head[i+1].Value == 0xA {
+			sfdAt = i
+			break
+		}
+	}
+	if sfdAt < 0 {
+		return nil, ErrNoFrame
+	}
+
+	// PHR: one byte (two symbols) after the SFD.
+	phrSyms, err := symbolsAt(sfdAt+2, 2)
+	if err != nil {
+		return nil, ErrLength
+	}
+	length := int(phrSyms[0].Value | phrSyms[1].Value<<4)
+	payloadBytes := length - 2 // the FCS is not on air (CRC disabled)
+	if payloadBytes < 0 {
+		payloadBytes = 0
+	}
+	payloadSyms, err := symbolsAt(sfdAt+4, payloadBytes*2)
+	if err != nil {
+		return nil, ErrLength
+	}
+	return &Frame{
+		Length:    length,
+		Payload:   DemodulateBits(payloadSyms),
+		SFDSample: start + sfdAt*spsym,
+	}, nil
+}

@@ -1,0 +1,69 @@
+package zigbee
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"multiscatter/internal/radio"
+)
+
+func delayed(w radio.Waveform, delay int, sigma float64, seed int64) radio.Waveform {
+	rng := rand.New(rand.NewSource(seed))
+	iq := make([]complex128, delay, delay+len(w.IQ))
+	for i := range iq {
+		iq[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * 0.01
+	}
+	iq = append(iq, w.IQ...)
+	for i := range iq {
+		iq[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	return radio.Waveform{IQ: iq, Rate: w.Rate}
+}
+
+func TestReceiveFrameZigBee(t *testing.T) {
+	cfg := Config{}
+	payload := []byte("802.15.4 frame body")
+	mod := NewModulator(cfg)
+	w, _ := mod.Modulate(radio.Packet{Payload: payload})
+	rx := delayed(w, 333, 0.1, 5)
+	frame, err := ReceiveFrame(rx, cfg, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Length != len(payload)+2 {
+		t.Fatalf("PHR length = %d, want %d", frame.Length, len(payload)+2)
+	}
+	if !bytes.Equal(frame.Payload, payload) {
+		t.Fatalf("payload %q != %q", frame.Payload, payload)
+	}
+	// The SFD sits 10 symbols into the frame (8 preamble + ... no: 8
+	// preamble symbols, then SFD); with the 333-sample delay it lands at
+	// 333 + 8 symbols.
+	wantSFD := 333 + 8*ChipsPerSymbol*4
+	if frame.SFDSample != wantSFD {
+		t.Fatalf("SFD at %d, want %d", frame.SFDSample, wantSFD)
+	}
+}
+
+func TestReceiveFrameZigBeeNoFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	iq := make([]complex128, 8000)
+	for i := range iq {
+		iq[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	if _, err := ReceiveFrame(radio.Waveform{IQ: iq, Rate: 8e6}, Config{}, 2000); !errors.Is(err, ErrNoFrame) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReceiveFrameZigBeeTruncated(t *testing.T) {
+	cfg := Config{}
+	mod := NewModulator(cfg)
+	w, _ := mod.Modulate(radio.Packet{Payload: make([]byte, 40)})
+	w.IQ = w.IQ[:len(w.IQ)/2]
+	if _, err := ReceiveFrame(w, cfg, 8); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}

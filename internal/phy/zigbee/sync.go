@@ -1,0 +1,32 @@
+package zigbee
+
+import (
+	"multiscatter/internal/dsp"
+	"multiscatter/internal/radio"
+)
+
+// Synchronize locates the start of an 802.15.4 frame in w by matched-
+// filtering against the SHR (eight zero symbols + SFD — a fixed 160 µs
+// O-QPSK waveform). It returns the frame-start sample offset and the
+// normalized detection score; offset −1 means no plausible frame within
+// maxOffset samples.
+func Synchronize(w radio.Waveform, cfg Config, maxOffset int) (int, float64) {
+	ref := referenceSHR(cfg)
+	// The first three preamble symbols are enough to lock unambiguously.
+	n := 3 * ChipsPerSymbol * cfg.spc()
+	if n > len(ref) {
+		n = len(ref)
+	}
+	off, score := dsp.CrossCorrPeak(w.IQ, ref[:n], maxOffset)
+	if score < 0.5 {
+		return -1, score
+	}
+	return off, score
+}
+
+// referenceSHR synthesizes the SHR for cfg.
+func referenceSHR(cfg Config) []complex128 {
+	m := NewModulator(cfg)
+	w, info := m.Modulate(radio.Packet{Payload: []byte{0}})
+	return w.IQ[:info.SHREnd]
+}

@@ -1,0 +1,224 @@
+package zigbee
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multiscatter/internal/radio"
+)
+
+func TestPNTableProperties(t *testing.T) {
+	// Sequence 1 must be sequence 0 right-rotated by 4 chips.
+	for i := 0; i < ChipsPerSymbol; i++ {
+		if PN[1][(i+4)%ChipsPerSymbol] != PN[0][i] {
+			t.Fatal("PN[1] is not a 4-chip rotation of PN[0]")
+		}
+	}
+	// Sequence 8 must be sequence 0 with odd (Q) chips inverted.
+	// Known value from IEEE 802.15.4 Table 12-1.
+	want8 := "10001100100101100000011101111011"
+	for i := 0; i < ChipsPerSymbol; i++ {
+		if PN[8][i] != want8[i]-'0' {
+			t.Fatalf("PN[8][%d] = %d, want %c", i, PN[8][i], want8[i])
+		}
+	}
+	// All 16 sequences distinct, pairwise distance ≥ 12 (the family's
+	// minimum distance).
+	for a := 0; a < 16; a++ {
+		for b := a + 1; b < 16; b++ {
+			d := 0
+			for i := 0; i < ChipsPerSymbol; i++ {
+				if PN[a][i] != PN[b][i] {
+					d++
+				}
+			}
+			if d == 0 {
+				t.Fatalf("PN[%d] == PN[%d]", a, b)
+			}
+			if d < 12 {
+				t.Fatalf("PN[%d] vs PN[%d] distance %d < 12", a, b, d)
+			}
+		}
+	}
+}
+
+func TestInvertedSymbolDeterministic(t *testing.T) {
+	// Overlay decoding on ZigBee needs two properties of the phase-flip
+	// mapping: a flipped symbol must never decode back to itself, and the
+	// best match must be well separated from the original (distance ≥ 20
+	// of 32 chips, i.e. the receiver prefers it by a wide margin). The
+	// mapping need not be an involution — tag-bit recovery only compares
+	// the decoded symbol against the reference symbol.
+	for sym := byte(0); sym < 16; sym++ {
+		m := InvertedSymbol(sym)
+		if m == sym {
+			t.Fatalf("InvertedSymbol(%d) = itself", sym)
+		}
+		d := 0
+		for i := 0; i < ChipsPerSymbol; i++ {
+			if PN[sym][i] != PN[m][i] {
+				d++
+			}
+		}
+		if d < 20 {
+			t.Fatalf("InvertedSymbol(%d)=%d separated by only %d chips", sym, m, d)
+		}
+	}
+}
+
+func TestInvertedSymbolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range symbol")
+		}
+	}()
+	InvertedSymbol(16)
+}
+
+func TestRoundTripClean(t *testing.T) {
+	cfg := Config{}
+	m := NewModulator(cfg)
+	payload := []byte("zigbee frame payload 0123456789")
+	w, info := m.Modulate(radio.Packet{Payload: payload})
+	syms, err := NewDemodulator(cfg).Demodulate(w, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DemodulateBits(syms)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q != %q", got, payload)
+	}
+	// Every clean symbol should correlate strongly.
+	for i, s := range syms {
+		if s.Correlation < 0.8 {
+			t.Fatalf("symbol %d correlation %v < 0.8", i, s.Correlation)
+		}
+	}
+}
+
+func TestRoundTripWithNoise(t *testing.T) {
+	cfg := Config{}
+	m := NewModulator(cfg)
+	payload := []byte{0x11, 0x22, 0x33, 0x44, 0x55}
+	w, info := m.Modulate(radio.Packet{Payload: payload})
+	rng := rand.New(rand.NewSource(21))
+	// DSSS despreading gain over 32 chips tolerates substantial noise.
+	for i := range w.IQ {
+		w.IQ[i] += complex(rng.NormFloat64()*0.5, rng.NormFloat64()*0.5)
+	}
+	syms, err := NewDemodulator(cfg).Demodulate(w, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DemodulateBits(syms); !bytes.Equal(got, payload) {
+		t.Fatal("noisy round trip failed despite despreading gain")
+	}
+}
+
+func TestFrameTiming(t *testing.T) {
+	cfg := Config{}
+	m := NewModulator(cfg)
+	w, info := m.Modulate(radio.Packet{Payload: make([]byte, 10)})
+	// Preamble: 8 symbols × 16 µs = 128 µs.
+	if us := float64(info.PreambleEnd) / w.Rate * 1e6; math.Abs(us-128) > 1e-9 {
+		t.Fatalf("preamble = %v µs, want 128", us)
+	}
+	// SHR: preamble + SFD (2 symbols) = 160 µs.
+	if us := float64(info.SHREnd) / w.Rate * 1e6; math.Abs(us-160) > 1e-9 {
+		t.Fatalf("SHR = %v µs, want 160", us)
+	}
+	// 10 payload bytes → 20 symbols.
+	if info.NumSymbols() != 20 {
+		t.Fatalf("payload symbols = %d, want 20", info.NumSymbols())
+	}
+	// Symbol duration is 16 µs.
+	if us := float64(info.SamplesPerSymbol) / w.Rate * 1e6; math.Abs(us-16) > 1e-9 {
+		t.Fatalf("symbol = %v µs, want 16", us)
+	}
+}
+
+func TestPhaseFlipMapsToInvertedSymbol(t *testing.T) {
+	// A π phase flip across whole symbols must decode each flipped
+	// symbol (except possibly boundary ones — here we flip aligned full
+	// symbols so even boundaries are clean on I; the half-chip Q
+	// spill-over touches only the first flipped symbol) to
+	// InvertedSymbol(original).
+	cfg := Config{}
+	m := NewModulator(cfg)
+	payload := []byte{0x21, 0x43, 0x65}
+	w, info := m.Modulate(radio.Packet{Payload: payload})
+
+	// Flip symbols 2..4 (γ=3 as the paper uses for ZigBee).
+	s := info.SymbolStart[2]
+	e := info.SymbolStart[4] + info.SamplesPerSymbol
+	for i := s; i < e; i++ {
+		w.IQ[i] = -w.IQ[i]
+	}
+	syms, err := NewDemodulator(cfg).Demodulate(w, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := symbolsOf(payload)
+	// Interior flipped symbol (index 3) must decode to the inverted map.
+	if syms[3].Value != InvertedSymbol(orig[3]) {
+		t.Fatalf("flipped symbol 3 = %d, want %d", syms[3].Value, InvertedSymbol(orig[3]))
+	}
+	// Symbols far from the flip must be untouched.
+	if syms[0].Value != orig[0] || syms[5].Value != orig[5] {
+		t.Fatal("unflipped symbols corrupted")
+	}
+}
+
+func TestSymbolsOf(t *testing.T) {
+	got := symbolsOf([]byte{0xA7, 0x31})
+	want := []byte{0x7, 0xA, 0x1, 0x3}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("symbolsOf = %v, want %v", got, want)
+	}
+}
+
+func TestDemodulateShortWaveform(t *testing.T) {
+	cfg := Config{}
+	m := NewModulator(cfg)
+	w, info := m.Modulate(radio.Packet{Payload: []byte{1, 2, 3}})
+	w.IQ = w.IQ[:len(w.IQ)/2]
+	if _, err := NewDemodulator(cfg).Demodulate(w, info); err == nil {
+		t.Fatal("expected error for truncated waveform")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	cfg := Config{}
+	m := NewModulator(cfg)
+	d := NewDemodulator(cfg)
+	f := func(payload []byte) bool {
+		if len(payload) == 0 {
+			payload = []byte{0xFF}
+		}
+		if len(payload) > 32 {
+			payload = payload[:32]
+		}
+		w, info := m.Modulate(radio.Packet{Payload: payload})
+		syms, err := d.Demodulate(w, info)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(DemodulateBits(syms), payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.spc() != 4 {
+		t.Fatal("default spc")
+	}
+	if c.SampleRate() != 8e6 {
+		t.Fatalf("SampleRate = %v", c.SampleRate())
+	}
+}

@@ -1,0 +1,45 @@
+package radio
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzBitsRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0xAA})
+	f.Add([]byte("multiscatter"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if got := BitsToBytes(BytesToBits(data)); !bytes.Equal(got, data) {
+			t.Fatalf("round trip failed for %x", data)
+		}
+	})
+}
+
+func FuzzScramblerRoundTrip(f *testing.F) {
+	f.Add([]byte{0x01})
+	f.Add([]byte{0xAA, 0x55, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bits := BytesToBits(data)
+		tx := NewScrambler80211b()
+		rx := NewScrambler80211b()
+		got := rx.DescrambleBits(tx.ScrambleBits(bits))
+		if !bytes.Equal(got, bits) {
+			t.Fatal("scrambler round trip failed")
+		}
+	})
+}
+
+func FuzzWhitenInvolution(f *testing.F) {
+	f.Add([]byte{0x42}, 37)
+	f.Add([]byte{1, 2, 3}, 0)
+	f.Fuzz(func(t *testing.T, data []byte, channel int) {
+		bits := BytesToBits(data)
+		orig := append([]byte(nil), bits...)
+		WhitenBLE(bits, channel)
+		WhitenBLE(bits, channel)
+		if !bytes.Equal(bits, orig) {
+			t.Fatal("whitening not an involution")
+		}
+	})
+}

@@ -1,0 +1,326 @@
+// Package sim is a discrete-event simulator for complete multiscatter
+// deployments: excitation sources emit packet timelines, the tag harvests
+// energy, identifies each arriving packet, and backscatters tag data over
+// calibrated per-protocol links to a receiver. It produces per-packet
+// outcomes, per-protocol accounting and bucketed throughput timelines —
+// the dynamic counterpart of the paper's §4.2 excitation-diversity
+// experiments and §3 energy analysis.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"multiscatter/internal/channel"
+	"multiscatter/internal/core"
+	"multiscatter/internal/energy"
+	"multiscatter/internal/excite"
+	"multiscatter/internal/overlay"
+	"multiscatter/internal/radio"
+)
+
+// Outcome classifies what happened to one excitation packet at the tag.
+type Outcome int
+
+const (
+	// Delivered: identified, modulated, and decoded by the receiver.
+	Delivered Outcome = iota
+	// TagAsleep: the harvester had no energy budget for this packet.
+	TagAsleep
+	// Collided: another packet overlapped it at the tag (no channel
+	// filter), so identification failed.
+	Collided
+	// Misidentified: the matcher decided wrongly or not at all.
+	Misidentified
+	// Unsupported: identified correctly but outside the tag's protocol
+	// set (single-protocol comparison tags).
+	Unsupported
+	// LostDownlink: the backscattered packet did not reach the receiver.
+	LostDownlink
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Delivered:
+		return "delivered"
+	case TagAsleep:
+		return "tag-asleep"
+	case Collided:
+		return "collided"
+	case Misidentified:
+		return "misidentified"
+	case Unsupported:
+		return "unsupported"
+	case LostDownlink:
+		return "lost-downlink"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// TagProfile describes the simulated tag's behaviour.
+type TagProfile struct {
+	// Supported protocols; empty means all four.
+	Supported []radio.Protocol
+	// IdentAccuracy is the per-protocol identification probability for
+	// clean (non-collided) packets. Zero entries default to the paper's
+	// measured 2.5 Msps extended-window figures.
+	IdentAccuracy map[radio.Protocol]float64
+	// Mode is the overlay operating mode (default Mode1).
+	Mode overlay.Mode
+}
+
+// DefaultIdentAccuracy is the paper's per-protocol identification
+// accuracy at the 2.5 Msps operating point (§1: 94.3% 802.11n, 95.9%
+// 802.11b, 81.8% BLE, 99.9% ZigBee).
+var DefaultIdentAccuracy = map[radio.Protocol]float64{
+	radio.Protocol80211n: 0.943,
+	radio.Protocol80211b: 0.959,
+	radio.ProtocolBLE:    0.818,
+	radio.ProtocolZigBee: 0.999,
+}
+
+// EnergyConfig enables harvesting-limited operation.
+type EnergyConfig struct {
+	// Lux is the light level driving the MP3-37 panel.
+	Lux float64
+	// LoadW is the tag's active power draw (default: the COTS
+	// prototype's 279.5 mW).
+	LoadW float64
+	// StartCharged starts the capacitor at the 4.1 V threshold.
+	StartCharged bool
+}
+
+// Config describes one simulated deployment.
+type Config struct {
+	// Sources emit excitation packets.
+	Sources []excite.Source
+	// Channel model (default LoS).
+	Channel *channel.Model
+	// ReceiverDistanceM from tag to receiver (default 2 m).
+	ReceiverDistanceM float64
+	// Tag behaviour.
+	Tag TagProfile
+	// Energy limits operation when non-nil; nil means always powered.
+	Energy *EnergyConfig
+	// Span of the simulation.
+	Span time.Duration
+	// BucketMS sizes the throughput timeline buckets (default 500 ms).
+	BucketMS int
+	// Seed for reproducibility.
+	Seed int64
+}
+
+// ProtocolStats accumulates per-protocol accounting.
+type ProtocolStats struct {
+	// Packets seen on air.
+	Packets int
+	// Outcomes histogram.
+	Outcomes map[Outcome]int
+	// TagBits delivered.
+	TagBits int
+	// ProductiveBits delivered alongside.
+	ProductiveBits int
+}
+
+// Result is the simulation output.
+type Result struct {
+	// Span simulated.
+	Span time.Duration
+	// PerProtocol accounting.
+	PerProtocol map[radio.Protocol]*ProtocolStats
+	// TagKbps is the overall delivered tag-data rate.
+	TagKbps float64
+	// BusyFraction is the share of packets the tag acted on
+	// (delivered / total seen while awake).
+	BusyFraction float64
+	// Buckets is the tag-throughput timeline (kbps per bucket).
+	Buckets []float64
+	// BucketDur is the bucket duration.
+	BucketDur time.Duration
+	// EnergyRounds counts harvester discharge rounds (0 when unlimited).
+	EnergyRounds int
+}
+
+// packetBits returns (productive, tag) bits carried by one packet of
+// protocol p with the given on-air duration under mode m.
+func packetBits(p radio.Protocol, dur time.Duration, m overlay.Mode) (int, int) {
+	g, ok := overlay.Gammas[p]
+	if !ok {
+		return 0, 0
+	}
+	sym := overlay.SymbolDuration(p)
+	tr := overlay.DefaultTraffic(p)
+	overhead := time.Duration(tr.OverheadUS*1e3) * time.Nanosecond
+	payload := int((dur - overhead) / sym)
+	if payload <= 0 {
+		return 0, 0
+	}
+	k := overlay.Kappa(p, m, payload/g)
+	seqs := payload / k
+	if seqs < 1 {
+		return 0, 0
+	}
+	return seqs, seqs * (k/g - 1)
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Sources) == 0 {
+		return nil, fmt.Errorf("sim: no excitation sources")
+	}
+	if cfg.Span <= 0 {
+		cfg.Span = 10 * time.Second
+	}
+	if cfg.ReceiverDistanceM == 0 {
+		cfg.ReceiverDistanceM = 2
+	}
+	ch := cfg.Channel
+	if ch == nil {
+		ch = channel.NewLoS()
+	}
+	mode := cfg.Tag.Mode
+	if mode == 0 {
+		mode = overlay.Mode1
+	}
+	bucketMS := cfg.BucketMS
+	if bucketMS <= 0 {
+		bucketMS = 500
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	supported := map[radio.Protocol]bool{}
+	if len(cfg.Tag.Supported) == 0 {
+		for _, p := range radio.Protocols {
+			supported[p] = true
+		}
+	} else {
+		for _, p := range cfg.Tag.Supported {
+			supported[p] = true
+		}
+	}
+	accuracy := func(p radio.Protocol) float64 {
+		if a, ok := cfg.Tag.IdentAccuracy[p]; ok && a > 0 {
+			return a
+		}
+		return DefaultIdentAccuracy[p]
+	}
+	links := map[radio.Protocol]*core.Link{}
+	for _, p := range radio.Protocols {
+		links[p] = core.NewLink(p, ch)
+	}
+
+	var harvester *energy.Harvester
+	var lux float64
+	if cfg.Energy != nil {
+		load := cfg.Energy.LoadW
+		if load <= 0 {
+			load = 0.2795
+		}
+		harvester = energy.NewHarvester(energy.NewMP337(), load)
+		lux = cfg.Energy.Lux
+		if cfg.Energy.StartCharged {
+			for !harvester.Step(0.05, 1e9) {
+			}
+		}
+	}
+
+	events := excite.Timeline(cfg.Sources, cfg.Span, rng)
+	bucketDur := time.Duration(bucketMS) * time.Millisecond
+	res := &Result{
+		Span:        cfg.Span,
+		PerProtocol: map[radio.Protocol]*ProtocolStats{},
+		Buckets:     make([]float64, int(cfg.Span/bucketDur)+1),
+		BucketDur:   bucketDur,
+	}
+	stat := func(p radio.Protocol) *ProtocolStats {
+		s := res.PerProtocol[p]
+		if s == nil {
+			s = &ProtocolStats{Outcomes: map[Outcome]int{}}
+			res.PerProtocol[p] = s
+		}
+		return s
+	}
+
+	clock := time.Duration(0)
+	wasActive := harvester == nil || harvester.Active()
+	totalAwake, delivered := 0, 0
+	for i, e := range events {
+		s := stat(e.Protocol)
+		s.Packets++
+
+		// Advance the harvester to this packet's start.
+		if harvester != nil {
+			for clock < e.Start {
+				step := e.Start - clock
+				if step > 10*time.Millisecond {
+					step = 10 * time.Millisecond
+				}
+				active := harvester.Step(step.Seconds(), lux)
+				if active && !wasActive {
+					res.EnergyRounds++
+				}
+				wasActive = active
+				clock += step
+			}
+			if !harvester.Active() {
+				s.Outcomes[TagAsleep]++
+				continue
+			}
+			// The backscatter operation itself consumes the packet's
+			// worth of active time.
+			harvester.Step(e.Duration.Seconds(), lux)
+		}
+		totalAwake++
+
+		outcome := func() Outcome {
+			// Collision check against neighbours in time.
+			for j := i - 1; j >= 0 && events[j].End() > e.Start; j-- {
+				if events[j].Source != e.Source {
+					return Collided
+				}
+			}
+			for j := i + 1; j < len(events) && events[j].Start < e.End(); j++ {
+				if events[j].Source != e.Source {
+					return Collided
+				}
+			}
+			if rng.Float64() > accuracy(e.Protocol) {
+				return Misidentified
+			}
+			if !supported[e.Protocol] {
+				return Unsupported
+			}
+			if !links[e.Protocol].InRange(cfg.ReceiverDistanceM) {
+				return LostDownlink
+			}
+			return Delivered
+		}()
+		s.Outcomes[outcome]++
+		if outcome != Delivered {
+			continue
+		}
+		delivered++
+		prod, tagBits := packetBits(e.Protocol, e.Duration, mode)
+		s.TagBits += tagBits
+		s.ProductiveBits += prod
+		b := int(e.Start / bucketDur)
+		if b < len(res.Buckets) {
+			res.Buckets[b] += float64(tagBits)
+		}
+	}
+	var totalTagBits int
+	for _, s := range res.PerProtocol {
+		totalTagBits += s.TagBits
+	}
+	res.TagKbps = float64(totalTagBits) / cfg.Span.Seconds() / 1e3
+	if totalAwake > 0 {
+		res.BusyFraction = float64(delivered) / float64(totalAwake)
+	}
+	for b := range res.Buckets {
+		res.Buckets[b] = res.Buckets[b] / bucketDur.Seconds() / 1e3
+	}
+	return res, nil
+}

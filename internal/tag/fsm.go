@@ -1,0 +1,204 @@
+package tag
+
+import (
+	"fmt"
+	"time"
+)
+
+// State is the tag controller's operating state.
+type State int
+
+const (
+	// Sleep: everything gated off except the envelope threshold watch.
+	Sleep State = iota
+	// Detecting: the ADC is enabled (EN high) and the correlators run,
+	// waiting for a template to cross its threshold.
+	Detecting
+	// Modulating: a carrier was identified; the RF switch toggles tag
+	// data onto it. The ADC is gated off (EN low).
+	Modulating
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Sleep:
+		return "sleep"
+	case Detecting:
+		return "detecting"
+	case Modulating:
+		return "modulating"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// PowerProfile is the tag's per-state power draw in milliwatts, derived
+// from Table 3: in Sleep only the oscillator (and the envelope watch)
+// runs; Detecting adds the ADC and the identification FPGA; Modulating
+// swaps those for the modulation FPGA and RF switch.
+type PowerProfile struct {
+	// SleepMW is the gated-off floor.
+	SleepMW float64
+	// DetectMW is ADC + identification logic + oscillator.
+	DetectMW float64
+	// ModulateMW is modulation logic + RF switch + oscillator.
+	ModulateMW float64
+}
+
+// DefaultPowerProfile derives the per-state draws from Table 3 at the
+// given ADC rate in Msps.
+func DefaultPowerProfile(adcRateMsps float64) PowerProfile {
+	const (
+		oscillator = 15.9
+		pktDetFPGA = 2.5
+		modFPGA    = 1.0
+		rfSwitch   = 0.1
+		adcAt20    = 260.0
+	)
+	return PowerProfile{
+		SleepMW:    oscillator,
+		DetectMW:   oscillator + pktDetFPGA + adcAt20*adcRateMsps/20,
+		ModulateMW: oscillator + modFPGA + rfSwitch,
+	}
+}
+
+// Controller is the tag's runtime state machine: it gates the ADC with
+// the EN signal (§2.3.2 note 1), runs identification while detecting,
+// and accounts energy per state.
+type Controller struct {
+	// Profile is the per-state power draw.
+	Profile PowerProfile
+	// DetectTimeout bounds how long the ADC stays enabled after an
+	// envelope rise without an identification (default: one extended
+	// window, 40 µs, plus margin).
+	DetectTimeout time.Duration
+
+	state       State
+	stateSince  time.Duration
+	now         time.Duration
+	energyMJ    float64
+	perStateDur map[State]time.Duration
+}
+
+// NewController returns a controller in Sleep with the default profile
+// for the given ADC rate.
+func NewController(adcRateMsps float64) *Controller {
+	return &Controller{
+		Profile:       DefaultPowerProfile(adcRateMsps),
+		DetectTimeout: 60 * time.Microsecond,
+		state:         Sleep,
+		perStateDur:   map[State]time.Duration{},
+	}
+}
+
+// State returns the current state.
+func (c *Controller) State() State { return c.state }
+
+// Now returns the controller clock.
+func (c *Controller) Now() time.Duration { return c.now }
+
+// EnergyMJ returns the total energy consumed so far in millijoules.
+func (c *Controller) EnergyMJ() float64 { return c.energyMJ }
+
+// StateDuration returns the cumulative time spent in s.
+func (c *Controller) StateDuration(s State) time.Duration { return c.perStateDur[s] }
+
+// powerMW returns the draw of the current state.
+func (c *Controller) powerMW() float64 {
+	switch c.state {
+	case Detecting:
+		return c.Profile.DetectMW
+	case Modulating:
+		return c.Profile.ModulateMW
+	default:
+		return c.Profile.SleepMW
+	}
+}
+
+// Advance moves the clock forward by dt in the current state,
+// accumulating energy, and applies the detect timeout.
+func (c *Controller) Advance(dt time.Duration) {
+	if dt <= 0 {
+		return
+	}
+	if c.state == Detecting && c.DetectTimeout > 0 {
+		elapsed := c.now - c.stateSince
+		if elapsed+dt >= c.DetectTimeout {
+			// Split the step at the timeout edge.
+			head := c.DetectTimeout - elapsed
+			if head > 0 {
+				c.account(head)
+			}
+			c.transition(Sleep)
+			c.account(dt - head)
+			return
+		}
+	}
+	c.account(dt)
+}
+
+func (c *Controller) account(dt time.Duration) {
+	if dt <= 0 {
+		return
+	}
+	c.energyMJ += c.powerMW() * dt.Seconds()
+	c.perStateDur[c.state] += dt
+	c.now += dt
+}
+
+func (c *Controller) transition(s State) {
+	c.state = s
+	c.stateSince = c.now
+}
+
+// OnEnvelopeRise is the Sleep→Detecting trigger: the passive envelope
+// watch crossed its threshold, so the FPGA raises EN and starts the
+// correlators. No-op outside Sleep.
+func (c *Controller) OnEnvelopeRise() {
+	if c.state == Sleep {
+		c.transition(Detecting)
+	}
+}
+
+// OnIdentified is the Detecting→Modulating trigger. No-op outside
+// Detecting.
+func (c *Controller) OnIdentified() {
+	if c.state == Detecting {
+		c.transition(Modulating)
+	}
+}
+
+// OnCarrierEnd is the Modulating→Sleep trigger (the packet finished).
+// No-op outside Modulating.
+func (c *Controller) OnCarrierEnd() {
+	if c.state == Modulating {
+		c.transition(Sleep)
+	}
+}
+
+// AveragePowerMW returns the lifetime average power draw.
+func (c *Controller) AveragePowerMW() float64 {
+	if c.now <= 0 {
+		return 0
+	}
+	return c.energyMJ / c.now.Seconds()
+}
+
+// DutyCycledPowerMW predicts the average power of a tag serving the
+// given excitation pattern analytically: packets arrive at rate pktRate
+// (Hz), each requiring detectDur of ADC-on identification and modDur of
+// modulation, with the remainder asleep. It is the paper's duty-cycling
+// argument quantified: at low packet rates the 279.5 mW peak collapses
+// toward the oscillator floor.
+func (p PowerProfile) DutyCycledPowerMW(pktRate float64, detectDur, modDur time.Duration) float64 {
+	dDetect := pktRate * detectDur.Seconds()
+	dMod := pktRate * modDur.Seconds()
+	if dDetect+dMod > 1 {
+		scale := 1 / (dDetect + dMod)
+		dDetect *= scale
+		dMod *= scale
+	}
+	dSleep := 1 - dDetect - dMod
+	return p.DetectMW*dDetect + p.ModulateMW*dMod + p.SleepMW*dSleep
+}

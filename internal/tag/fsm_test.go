@@ -1,0 +1,138 @@
+package tag
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestControllerLifecycle(t *testing.T) {
+	c := NewController(2.5)
+	if c.State() != Sleep {
+		t.Fatal("should start asleep")
+	}
+	// Triggers only fire from the right states.
+	c.OnIdentified()
+	if c.State() != Sleep {
+		t.Fatal("OnIdentified from Sleep must be a no-op")
+	}
+	c.OnEnvelopeRise()
+	if c.State() != Detecting {
+		t.Fatal("envelope rise should start detection")
+	}
+	c.OnEnvelopeRise() // no-op
+	c.Advance(40 * time.Microsecond)
+	c.OnIdentified()
+	if c.State() != Modulating {
+		t.Fatal("identification should start modulation")
+	}
+	c.Advance(500 * time.Microsecond)
+	c.OnCarrierEnd()
+	if c.State() != Sleep {
+		t.Fatal("carrier end should sleep")
+	}
+	if c.StateDuration(Detecting) != 40*time.Microsecond {
+		t.Fatalf("detect duration = %v", c.StateDuration(Detecting))
+	}
+	if c.StateDuration(Modulating) != 500*time.Microsecond {
+		t.Fatalf("modulate duration = %v", c.StateDuration(Modulating))
+	}
+}
+
+func TestControllerDetectTimeout(t *testing.T) {
+	c := NewController(2.5)
+	c.OnEnvelopeRise()
+	// A long quiet stretch: detection must time out back to sleep, and
+	// only the timeout's worth of time bills at the detect rate.
+	c.Advance(time.Millisecond)
+	if c.State() != Sleep {
+		t.Fatalf("state = %v, want sleep after timeout", c.State())
+	}
+	if got := c.StateDuration(Detecting); got != c.DetectTimeout {
+		t.Fatalf("detect time = %v, want %v", got, c.DetectTimeout)
+	}
+	if got := c.StateDuration(Sleep); got != time.Millisecond-c.DetectTimeout {
+		t.Fatalf("sleep time = %v", got)
+	}
+}
+
+func TestControllerEnergyAccounting(t *testing.T) {
+	c := NewController(20)
+	p := c.Profile
+	c.OnEnvelopeRise()
+	c.Advance(50 * time.Microsecond) // within timeout
+	c.OnIdentified()
+	c.Advance(950 * time.Microsecond)
+	c.OnCarrierEnd()
+	c.Advance(9 * time.Millisecond)
+	want := p.DetectMW*50e-6 + p.ModulateMW*950e-6 + p.SleepMW*9e-3
+	if math.Abs(c.EnergyMJ()-want) > 1e-9 {
+		t.Fatalf("energy = %v mJ, want %v", c.EnergyMJ(), want)
+	}
+	if c.Now() != 10*time.Millisecond {
+		t.Fatalf("clock = %v", c.Now())
+	}
+	avg := c.AveragePowerMW()
+	if avg <= p.SleepMW || avg >= p.DetectMW {
+		t.Fatalf("average power %v outside (%v, %v)", avg, p.SleepMW, p.DetectMW)
+	}
+}
+
+func TestDefaultPowerProfileTable3(t *testing.T) {
+	// At 20 Msps, detecting draws the Table 3 packet-detection budget
+	// (2.5 + 260 + 15.9 = 278.4 mW) and modulating the modulation budget
+	// (1.0 + 0.1 + 15.9 = 17 mW).
+	p := DefaultPowerProfile(20)
+	if math.Abs(p.DetectMW-278.4) > 1e-9 {
+		t.Fatalf("detect = %v mW", p.DetectMW)
+	}
+	if math.Abs(p.ModulateMW-17.0) > 1e-9 {
+		t.Fatalf("modulate = %v mW", p.ModulateMW)
+	}
+	if p.SleepMW != 15.9 {
+		t.Fatalf("sleep = %v mW", p.SleepMW)
+	}
+	// At 2.5 Msps the ADC share drops 8×.
+	low := DefaultPowerProfile(2.5)
+	if math.Abs(low.DetectMW-(15.9+2.5+32.5)) > 1e-9 {
+		t.Fatalf("2.5 Msps detect = %v mW", low.DetectMW)
+	}
+}
+
+func TestDutyCycledPower(t *testing.T) {
+	p := DefaultPowerProfile(2.5)
+	// No traffic → oscillator floor.
+	if got := p.DutyCycledPowerMW(0, 60*time.Microsecond, 400*time.Microsecond); got != p.SleepMW {
+		t.Fatalf("idle power = %v", got)
+	}
+	// Sparse ZigBee traffic (20 pkt/s): barely above the floor.
+	sparse := p.DutyCycledPowerMW(20, 60*time.Microsecond, 6400*time.Microsecond)
+	if sparse > p.SleepMW+5 {
+		t.Fatalf("sparse-traffic power = %v mW, want near the %v floor", sparse, p.SleepMW)
+	}
+	// Saturated traffic cannot exceed the detect+modulate mixture.
+	sat := p.DutyCycledPowerMW(1e9, 60*time.Microsecond, 400*time.Microsecond)
+	if sat > p.DetectMW || sat < p.ModulateMW {
+		t.Fatalf("saturated power = %v outside state range", sat)
+	}
+	// More traffic, more power (monotone).
+	prev := 0.0
+	for _, rate := range []float64{1, 10, 100, 1000} {
+		got := p.DutyCycledPowerMW(rate, 60*time.Microsecond, 400*time.Microsecond)
+		if got <= prev {
+			t.Fatalf("power not monotone at %v pkt/s", rate)
+		}
+		prev = got
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s := Sleep; s <= Modulating; s++ {
+		if s.String() == "" {
+			t.Fatal("empty state name")
+		}
+	}
+	if State(9).String() == "" {
+		t.Fatal("unknown state name")
+	}
+}

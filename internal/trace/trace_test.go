@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"multiscatter/internal/radio"
+)
+
+func collectSmall(t *testing.T) *Set {
+	t.Helper()
+	s, err := Collect(CollectOptions{
+		ADCRate:     2.5e6,
+		Extended:    true,
+		PerProtocol: 8,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCollect(t *testing.T) {
+	s := collectSmall(t)
+	if len(s.Traces) != 32 {
+		t.Fatalf("traces = %d, want 32", len(s.Traces))
+	}
+	counts := map[radio.Protocol]int{}
+	for _, tr := range s.Traces {
+		counts[tr.Protocol]++
+		if len(tr.Samples) == 0 {
+			t.Fatal("empty trace")
+		}
+		if tr.SNRdB < 9 || tr.SNRdB > 21 {
+			t.Fatalf("SNR %v outside default mixture", tr.SNRdB)
+		}
+	}
+	for _, p := range radio.Protocols {
+		if counts[p] != 8 {
+			t.Fatalf("%v count = %d", p, counts[p])
+		}
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	if _, err := Collect(CollectOptions{}); err == nil {
+		t.Fatal("zero ADC rate accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := collectSmall(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ADCRate != s.ADCRate || got.WindowUS != s.WindowUS || len(got.Traces) != len(s.Traces) {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	for i := range s.Traces {
+		if got.Traces[i].Protocol != s.Traces[i].Protocol {
+			t.Fatal("label mismatch")
+		}
+		if len(got.Traces[i].Samples) != len(s.Traces[i].Samples) {
+			t.Fatal("sample length mismatch")
+		}
+	}
+	// Compression should beat raw float64 encoding substantially.
+	raw := 0
+	for _, tr := range s.Traces {
+		raw += 8 * len(tr.Samples)
+	}
+	if buf.Len() >= raw {
+		t.Fatalf("compressed %d ≥ raw %d", buf.Len(), raw)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	s := collectSmall(t)
+	path := filepath.Join(t.TempDir(), "traces.gob.gz")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Traces) != len(s.Traces) {
+		t.Fatal("file round trip lost traces")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not gzip"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestEvaluateStoredSet(t *testing.T) {
+	s := collectSmall(t)
+	// Extended-window ordered evaluation on the stored traces must be
+	// accurate (this is the 2.5 Msps extended operating point).
+	c, err := s.Evaluate(EvaluateOptions{Quantized: true, Extended: true, Ordered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != len(s.Traces) {
+		t.Fatalf("evaluated %d of %d", c.Total(), len(s.Traces))
+	}
+	if c.Average() < 0.8 {
+		t.Fatalf("stored-set accuracy %v too low\n%s", c.Average(), c)
+	}
+	// The same traces re-scored with the short window must do worse —
+	// replaying one capture under many configurations is the point.
+	short, err := s.Evaluate(EvaluateOptions{Quantized: true, Ordered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Average() >= c.Average() {
+		t.Fatalf("short-window %v should underperform extended %v", short.Average(), c.Average())
+	}
+}
+
+func TestEvaluateWindowMismatch(t *testing.T) {
+	s, err := Collect(CollectOptions{ADCRate: 2.5e6, PerProtocol: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Captured with 8 µs metadata; extended evaluation must refuse.
+	if _, err := s.Evaluate(EvaluateOptions{Extended: true}); err == nil {
+		t.Fatal("window mismatch accepted")
+	}
+}

@@ -1,0 +1,249 @@
+// Package multiscatter is a software-defined reproduction of
+// "Multiprotocol Backscatter for Personal IoT Sensors" (Gong, Yuan, Wang,
+// Zhao — CoNEXT 2020): a backscatter tag that identifies multiple 2.4 GHz
+// excitation protocols (802.11b, 802.11n, BLE, ZigBee) in an
+// ultra-low-power way and conveys tag data on top of productive carriers
+// with overlay modulation, decodable by a single commodity radio.
+//
+// The package is the public face of the simulator. It exposes:
+//
+//   - the four baseband PHYs and the overlay codecs (Build / ApplyTag /
+//     Decode) for end-to-end single-receiver experiments on real
+//     waveforms;
+//   - the tag: analog front end (clamped rectifier + ADC), template
+//     matching identification (blind and ordered), and the carrier
+//     selection policy;
+//   - calibrated link, channel, energy and FPGA-cost models;
+//   - experiment drivers that regenerate every table and figure of the
+//     paper's evaluation (see bench_test.go and cmd/msbench).
+//
+// Quickstart:
+//
+//	tag, _ := multiscatter.NewTag(multiscatter.TagConfig{})
+//	plan, _ := multiscatter.NewPlan(multiscatter.ProtocolBLE, multiscatter.Mode1, productiveBits)
+//	codec := tag.Codecs[multiscatter.ProtocolBLE]
+//	carrier, _ := codec.Build(plan)
+//	tag.Backscatter(carrier, tagBits)       // identify + overlay-modulate
+//	result, _ := codec.Decode(carrier)      // single commodity receiver
+package multiscatter
+
+import (
+	"multiscatter/internal/channel"
+	"multiscatter/internal/core"
+	"multiscatter/internal/overlay"
+	"multiscatter/internal/radio"
+	"multiscatter/internal/stats"
+	"multiscatter/internal/tag"
+)
+
+// Protocol identifies an excitation protocol.
+type Protocol = radio.Protocol
+
+// The four excitation protocols, in ordered-matching order.
+const (
+	ProtocolUnknown = radio.ProtocolUnknown
+	ProtocolZigBee  = radio.ProtocolZigBee
+	ProtocolBLE     = radio.ProtocolBLE
+	Protocol80211b  = radio.Protocol80211b
+	Protocol80211n  = radio.Protocol80211n
+)
+
+// Protocols lists the four identifiable protocols.
+var Protocols = radio.Protocols
+
+// Waveform is a complex-baseband signal with its sample rate.
+type Waveform = radio.Waveform
+
+// Packet is a protocol data unit at the bit level.
+type Packet = radio.Packet
+
+// Mode selects an overlay operating point (Table 6).
+type Mode = overlay.Mode
+
+// Overlay modes.
+const (
+	Mode1 = overlay.Mode1
+	Mode2 = overlay.Mode2
+	Mode3 = overlay.Mode3
+)
+
+// Plan fixes the overlay sequence structure of one carrier packet.
+type Plan = overlay.Plan
+
+// Carrier is a generated overlay carrier waveform plus its layout.
+type Carrier = overlay.Carrier
+
+// Codec generates, tag-modulates and decodes overlay carriers.
+type Codec = overlay.Codec
+
+// Result is the outcome of single-receiver overlay decoding.
+type Result = overlay.Result
+
+// Throughput is a productive/tag rate pair in kbps.
+type Throughput = overlay.Throughput
+
+// Traffic describes a carrier's packet pattern.
+type Traffic = overlay.Traffic
+
+// NewPlan builds an overlay plan carrying the given productive bits.
+func NewPlan(p Protocol, m Mode, productive []byte) (*Plan, error) {
+	return overlay.NewPlan(p, m, productive)
+}
+
+// NewCodec returns the overlay codec for a protocol.
+func NewCodec(p Protocol) (Codec, error) { return overlay.NewCodec(p) }
+
+// DefaultTraffic returns the paper-calibrated carrier pattern for a
+// protocol.
+func DefaultTraffic(p Protocol) Traffic { return overlay.DefaultTraffic(p) }
+
+// Tag is a multiscatter tag: identifier + overlay codecs + policy.
+type Tag = core.Tag
+
+// TagConfig configures NewTag.
+type TagConfig = core.TagConfig
+
+// IdentifierConfig selects an identification operating point.
+type IdentifierConfig = tag.IdentifierConfig
+
+// NewTag builds a tag (default: 2.5 Msps quantized ordered matching with
+// the 40 µs extended window — the paper's recommended configuration).
+func NewTag(cfg TagConfig) (*Tag, error) { return core.NewTag(cfg) }
+
+// SelectCarrier implements the intelligent carrier pick of Figure 18b.
+func SelectCarrier(goodputKbps map[Protocol]float64, requiredKbps float64) (Protocol, bool) {
+	return core.SelectCarrier(goodputKbps, requiredKbps)
+}
+
+// ChannelModel is a log-distance path-loss channel.
+type ChannelModel = channel.Model
+
+// NewLoSChannel returns the line-of-sight hallway channel of Figure 13.
+func NewLoSChannel() *ChannelModel { return channel.NewLoS() }
+
+// NewNLoSChannel returns the non-line-of-sight office channel of
+// Figure 14.
+func NewNLoSChannel() *ChannelModel { return channel.NewNLoS() }
+
+// Link is one protocol's calibrated end-to-end backscatter link.
+type Link = core.Link
+
+// NewLink builds a link for protocol p over channel m.
+func NewLink(p Protocol, m *ChannelModel) *Link { return core.NewLink(p, m) }
+
+// Confusion is an identification confusion matrix.
+type Confusion = stats.Confusion
+
+// Series is a labelled experiment curve.
+type Series = stats.Series
+
+// IdentifyOptions configures an identification-accuracy experiment.
+type IdentifyOptions = core.IdentifyOptions
+
+// RunIdentification collects traces, tunes thresholds (the paper's
+// brute-force search) and returns the confusion matrix plus thresholds.
+func RunIdentification(o IdentifyOptions) (*Confusion, map[Protocol]float64, error) {
+	return core.RunIdentification(o)
+}
+
+// RangePoint is one distance sample of Figures 13/14.
+type RangePoint = core.RangePoint
+
+// RangeSweep computes RSSI/BER/throughput across distances.
+func RangeSweep(p Protocol, m *ChannelModel, maxD, step float64) []RangePoint {
+	return core.RangeSweep(p, m, maxD, step)
+}
+
+// TradeoffResult is one bar group of Figure 12.
+type TradeoffResult = core.TradeoffResult
+
+// RunTradeoffs computes Figure 12.
+func RunTradeoffs() []TradeoffResult { return core.RunTradeoffs() }
+
+// OcclusionResult is one bar of Figure 15.
+type OcclusionResult = core.OcclusionResult
+
+// RunOcclusion computes Figure 15.
+func RunOcclusion() []OcclusionResult { return core.RunOcclusion() }
+
+// CollisionResult is one protocol's throughput under collisions (Fig 16).
+type CollisionResult = core.CollisionResult
+
+// RunCollisions computes Figure 16's time- and frequency-domain
+// collision scenarios.
+func RunCollisions(seed int64) (timeDomain, freqDomain []CollisionResult) {
+	return core.RunCollisions(seed)
+}
+
+// DiversityResult summarizes Figure 18a.
+type DiversityResult = core.DiversityResult
+
+// RunDiversity computes Figure 18a.
+func RunDiversity() DiversityResult { return core.RunDiversity() }
+
+// CarrierPickResult summarizes Figure 18b.
+type CarrierPickResult = core.CarrierPickResult
+
+// RunCarrierPick computes Figure 18b.
+func RunCarrierPick() CarrierPickResult { return core.RunCarrierPick() }
+
+// RefModResult is one bar of Figure 17.
+type RefModResult = core.RefModResult
+
+// RunRefModulation computes Figure 17 over Monte Carlo carriers.
+func RunRefModulation(snrDB float64, packets int, seed int64) ([]RefModResult, error) {
+	return core.RunRefModulation(snrDB, packets, seed)
+}
+
+// BaselineFailurePoint is one bar of Figure 9a.
+type BaselineFailurePoint = core.BaselineFailurePoint
+
+// RunBaselineFailure computes Figure 9.
+func RunBaselineFailure() ([]BaselineFailurePoint, *Series) {
+	return core.RunBaselineFailure()
+}
+
+// BraceletGoodputKbps is the on-body monitoring requirement of §4.2.2.
+const BraceletGoodputKbps = core.BraceletGoodputKbps
+
+// Impairments describes channel effects applied to a backscattered
+// carrier (delay, residual CFO, noise).
+type Impairments = core.Impairments
+
+// Impair applies channel impairments to a carrier in place.
+func Impair(c *Carrier, imp Impairments) { core.Impair(c, imp) }
+
+// Receiver re-aligns impaired carriers (frame sync + the paper's
+// brute-force center-frequency search) before overlay decoding.
+type Receiver = core.Receiver
+
+// NewReceiver returns a receiver with default search bounds.
+func NewReceiver(p Protocol) *Receiver { return core.NewReceiver(p) }
+
+// UniversalFrame is a protocol-agnostic reception result.
+type UniversalFrame = core.UniversalFrame
+
+// UniversalReceive tries every protocol's receive chain on an unaligned
+// capture — a software monitor radio for the 2.4 GHz band.
+func UniversalReceive(w Waveform, maxOffset int) (*UniversalFrame, error) {
+	return core.UniversalReceive(w, maxOffset)
+}
+
+// ChooseMode picks the overlay mode whose tag rate meets a requirement
+// over the given link (application-driven κ selection).
+func ChooseMode(l *Link, d float64, tr Traffic, requiredTagKbps float64) (Mode, bool) {
+	return core.ChooseMode(l, d, tr, requiredTagKbps)
+}
+
+// ChooseGamma picks the smallest tag spreading factor meeting a BER
+// target at the given per-symbol decision SNR — the paper's empirical γ
+// selection made explicit.
+func ChooseGamma(p Protocol, snr, targetBER float64, maxGamma int) (int, bool) {
+	return overlay.ChooseGamma(p, snr, targetBER, maxGamma)
+}
+
+// NewCustomPlan builds an overlay plan with explicit γ and κ instead of
+// the Table 6 defaults.
+func NewCustomPlan(p Protocol, gamma, kappa int, productive []byte) (*Plan, error) {
+	return overlay.NewCustomPlan(p, gamma, kappa, productive)
+}

@@ -1,0 +1,117 @@
+package multiscatter_test
+
+import (
+	"testing"
+
+	"multiscatter"
+)
+
+// TestPublicQuickstart exercises the README quickstart path end to end
+// through the public API only.
+func TestPublicQuickstart(t *testing.T) {
+	tag, err := multiscatter.NewTag(multiscatter.TagConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	productive := []byte{1, 0, 1, 1}
+	tagBits := []byte{0, 1, 1, 0}
+	plan, err := multiscatter.NewPlan(multiscatter.ProtocolBLE, multiscatter.Mode1, productive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := tag.Codecs[multiscatter.ProtocolBLE]
+	carrier, err := codec.Build(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, modulated, err := tag.Backscatter(carrier, tagBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != multiscatter.ProtocolBLE || !modulated {
+		t.Fatalf("identified %v, modulated %v", p, modulated)
+	}
+	res, err := codec.Decode(carrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, te := res.BitErrors(plan, tagBits)
+	if pe != 0 || te != 0 {
+		t.Fatalf("errors: productive %d, tag %d", pe, te)
+	}
+}
+
+func TestPublicLinkAPI(t *testing.T) {
+	link := multiscatter.NewLink(multiscatter.Protocol80211b, multiscatter.NewLoSChannel())
+	if r := link.MaxRange(1, 40); r < 20 {
+		t.Fatalf("LoS 802.11b range = %v", r)
+	}
+	pts := multiscatter.RangeSweep(multiscatter.ProtocolBLE, multiscatter.NewNLoSChannel(), 20, 2)
+	if len(pts) != 10 {
+		t.Fatalf("sweep points = %d", len(pts))
+	}
+}
+
+func TestPublicExperimentSurface(t *testing.T) {
+	if got := len(multiscatter.RunTradeoffs()); got != 12 {
+		t.Fatalf("tradeoff rows = %d", got)
+	}
+	if got := len(multiscatter.RunOcclusion()); got != 4 {
+		t.Fatalf("occlusion rows = %d", got)
+	}
+	res := multiscatter.RunCarrierPick()
+	if !res.MeetsTarget {
+		t.Fatal("carrier pick should meet the bracelet target")
+	}
+	div := multiscatter.RunDiversity()
+	if div.MultiKbps <= div.SingleKbps {
+		t.Fatal("diversity gain missing")
+	}
+	if multiscatter.BraceletGoodputKbps != 6.3 {
+		t.Fatal("bracelet constant")
+	}
+}
+
+func TestPublicReceiverAPI(t *testing.T) {
+	codec, err := multiscatter.NewCodec(multiscatter.ProtocolBLE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := multiscatter.NewPlan(multiscatter.ProtocolBLE, multiscatter.Mode1, []byte{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	carrier, err := codec.Build(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec.ApplyTag(carrier, []byte{1, 1})
+	multiscatter.Impair(carrier, multiscatter.Impairments{DelaySamples: 60, SNRdB: 20, Seed: 3})
+	rx := multiscatter.NewReceiver(multiscatter.ProtocolBLE)
+	rx.SearchHz = 0
+	if _, delay, err := rx.Recover(carrier); err != nil || delay != 60 {
+		t.Fatalf("recover: delay=%d err=%v", delay, err)
+	}
+	res, err := codec.Decode(carrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe, te := res.BitErrors(plan, []byte{1, 1}); pe != 0 || te != 0 {
+		t.Fatalf("errors %d/%d", pe, te)
+	}
+}
+
+func TestPublicPolicyAPI(t *testing.T) {
+	link := multiscatter.NewLink(multiscatter.Protocol80211b, multiscatter.NewLoSChannel())
+	tr := multiscatter.DefaultTraffic(multiscatter.Protocol80211b)
+	if m, ok := multiscatter.ChooseMode(link, 2, tr, 10); !ok || m != multiscatter.Mode1 {
+		t.Fatalf("ChooseMode = %v %v", m, ok)
+	}
+	if g, ok := multiscatter.ChooseGamma(multiscatter.ProtocolBLE, 100, 0.1, 8); !ok || g < 3 {
+		t.Fatalf("ChooseGamma = %d %v", g, ok)
+	}
+	plan, err := multiscatter.NewCustomPlan(multiscatter.Protocol80211b, 2, 8, []byte{1})
+	if err != nil || plan.Gamma != 2 {
+		t.Fatalf("NewCustomPlan: %+v %v", plan, err)
+	}
+}
