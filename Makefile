@@ -1,0 +1,28 @@
+# multiscatter — build/verify entry points.
+#
+#   make check   build + vet + race-enabled tests (the full gate)
+#   make test    plain test run (what CI tier-1 executes)
+#   make bench   fleet benchmarks at workers=1 and workers=NumCPU
+
+GO ?= go
+
+.PHONY: all build vet test race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+bench:
+	$(GO) test -run - -bench 'BenchmarkFleet' -benchtime 1x -benchmem ./

@@ -8,13 +8,19 @@
 //	msbench [-experiment all|table1|table2|table3|table4|table5|table6|
 //	         fig4|fig5|fig7|fig8|fig9|fig12|fig13|fig14|fig15|fig16|
 //	         fig17|fig18|downlink] [-trials N] [-seed N]
+//	msbench -markdown report.md            # full report + BENCH_<date>.json
+//	msbench -json metrics.json             # metrics only ('-' for stdout)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"multiscatter"
 	"multiscatter/internal/analog"
@@ -36,25 +42,13 @@ var (
 	trials     = flag.Int("trials", 30, "identification trials per protocol")
 	seed       = flag.Int64("seed", 1, "random seed")
 	markdown   = flag.String("markdown", "", "write a full markdown report to this file instead of printing")
+	jsonOut    = flag.String("json", "", "write machine-readable metrics JSON (default BENCH_<date>.json next to -markdown; 'none' disables)")
 )
 
 func main() {
 	flag.Parse()
-	if *markdown != "" {
-		f, err := os.Create(*markdown)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "msbench:", err)
-			os.Exit(1)
-		}
-		if err := report.Write(f, report.Options{Trials: *trials, Seed: *seed}); err != nil {
-			fmt.Fprintln(os.Stderr, "msbench:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "msbench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s\n", *markdown)
+	if *markdown != "" || *jsonOut != "" {
+		runReport()
 		return
 	}
 	runners := map[string]func(){
@@ -96,6 +90,63 @@ func main() {
 		os.Exit(2)
 	}
 	run()
+}
+
+// runReport renders the markdown report and/or the machine-readable
+// metrics JSON (experiment id → metric → value) from one experiment run.
+func runReport() {
+	out := io.Discard
+	var mdFile *os.File
+	if *markdown != "" {
+		f, err := os.Create(*markdown)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "msbench:", err)
+			os.Exit(1)
+		}
+		mdFile, out = f, f
+	}
+	metrics, err := report.WriteMetrics(out, report.Options{Trials: *trials, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msbench:", err)
+		os.Exit(1)
+	}
+	if mdFile != nil {
+		if err := mdFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "msbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *markdown)
+	}
+
+	path := *jsonOut
+	if path == "none" {
+		return
+	}
+	if path == "" {
+		path = filepath.Join(filepath.Dir(*markdown),
+			"BENCH_"+time.Now().Format("2006-01-02")+".json")
+	}
+	doc := struct {
+		Generated string         `json:"generated"`
+		Trials    int            `json:"trials"`
+		Seed      int64          `json:"seed"`
+		Metrics   report.Metrics `json:"metrics"`
+	}{time.Now().Format(time.RFC3339), *trials, *seed, metrics}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msbench:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if path == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "msbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 func header(title, paper string) {

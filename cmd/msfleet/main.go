@@ -1,0 +1,124 @@
+// Command msfleet runs a concurrent multi-tag deployment: N backscatter
+// tags on a floor-plan grid, a shared excitation timeline from a named
+// scenario (or explicit rates), K receivers, cross-tag collision
+// arbitration, and aggregated fleet metrics. It prints a markdown report
+// and can additionally dump the full result as JSON.
+//
+// Usage:
+//
+//	msfleet [-scenario office] [-tags 50] [-floor 30x50] [-receivers 2]
+//	        [-span 10s] [-seed 1] [-workers 0] [-capture 10]
+//	        [-lux 0] [-top 5] [-json fleet.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"multiscatter/internal/excite"
+	"multiscatter/internal/fleet"
+	"multiscatter/internal/sim"
+)
+
+var (
+	scenario  = flag.String("scenario", "office", "excitation scenario (home, office, cafe, warehouse)")
+	tags      = flag.Int("tags", 50, "number of tags on the floor plan")
+	floor     = flag.String("floor", "30x50", "floor-plan size WxH in metres")
+	receivers = flag.Int("receivers", 1, "number of receivers spread over the floor")
+	span      = flag.Duration("span", 10*time.Second, "simulated time span")
+	seed      = flag.Int64("seed", 1, "random seed (same seed ⇒ identical result at any -workers)")
+	workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	capture   = flag.Float64("capture", 10, "capture margin in dB for cross-tag collisions")
+	bucketMS  = flag.Int("bucket", 500, "throughput timeline bucket (ms)")
+	lux       = flag.Float64("lux", 0, "light level for energy-harvesting tags (0 = unlimited power)")
+	top       = flag.Int("top", 5, "show the N highest-rate tags (0 disables)")
+	jsonPath  = flag.String("json", "", "also write the full result as JSON to this path ('-' for stdout)")
+)
+
+func main() {
+	flag.Parse()
+
+	sc, err := excite.FindScenario(*scenario)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msfleet:", err)
+		os.Exit(2)
+	}
+	w, h, err := parseFloor(*floor)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msfleet:", err)
+		os.Exit(2)
+	}
+
+	specs := fleet.PlaceGrid(*tags, w, h)
+	if *lux > 0 {
+		for i := range specs {
+			specs[i].Energy = &sim.EnergyConfig{Lux: *lux, StartCharged: true}
+		}
+	}
+
+	cfg := fleet.Config{
+		Sources:   sc.Sources,
+		Tags:      specs,
+		Receivers: fleet.PlaceReceivers(*receivers, w, h),
+		Span:      *span,
+		BucketMS:  *bucketMS,
+		Seed:      *seed,
+		Workers:   *workers,
+		CaptureDB: *capture,
+	}
+
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msfleet:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scenario %q: %s\n\n", sc.Name, sc.Description)
+	fmt.Print(res.Markdown())
+	if *top > 0 {
+		fmt.Printf("\n**Top %d tags by rate:**\n\n", *top)
+		fmt.Println("| tag | pos (m) | rx | dist (m) | delivered | kbps |")
+		fmt.Println("|---|---|---|---|---|---|")
+		for _, t := range res.TopTags(*top) {
+			fmt.Printf("| %d | (%.1f, %.1f) | %d | %.1f | %d | %.2f |\n",
+				t.ID, t.X, t.Y, t.Receiver, t.DistanceM, t.Outcomes[sim.Delivered], t.TagKbps)
+		}
+	}
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "msfleet:", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(blob)
+		} else if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "msfleet:", err)
+			os.Exit(1)
+		} else {
+			fmt.Printf("\nwrote %s\n", *jsonPath)
+		}
+	}
+}
+
+// parseFloor parses "30x50" into width and height in metres.
+func parseFloor(s string) (w, h float64, err error) {
+	parts := strings.SplitN(strings.ToLower(s), "x", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -floor %q (want WxH, e.g. 30x50)", s)
+	}
+	if w, err = strconv.ParseFloat(parts[0], 64); err != nil || w <= 0 {
+		return 0, 0, fmt.Errorf("bad -floor width %q", parts[0])
+	}
+	if h, err = strconv.ParseFloat(parts[1], 64); err != nil || h <= 0 {
+		return 0, 0, fmt.Errorf("bad -floor height %q", parts[1])
+	}
+	return w, h, nil
+}

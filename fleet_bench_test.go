@@ -1,0 +1,65 @@
+// Fleet benchmarks: the concurrent multi-tag deployment engine at 100
+// and 1000 tags, each at workers=1 and workers=NumCPU, so the speedup of
+// the sharded pool (and the determinism across pool sizes) is measurable
+// with `go test -bench Fleet -benchtime 1x`. EXPERIMENTS.md records the
+// numbers.
+package multiscatter_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"multiscatter"
+	"multiscatter/internal/excite"
+	"multiscatter/internal/sim"
+)
+
+// fleetBenchConfig builds an office-scenario deployment of n tags on a
+// floor scaled to keep tag density realistic.
+func fleetBenchConfig(n int, span time.Duration, workers int) multiscatter.FleetConfig {
+	sc, err := excite.FindScenario("office")
+	if err != nil {
+		panic(err)
+	}
+	w, h := 30.0, 50.0
+	if n > 100 {
+		w, h = 60.0, 100.0
+	}
+	return multiscatter.FleetConfig{
+		Sources:   sc.Sources,
+		Tags:      multiscatter.PlaceGrid(n, w, h),
+		Receivers: multiscatter.PlaceReceivers(4, w, h),
+		Span:      span,
+		Seed:      42,
+		Workers:   workers,
+	}
+}
+
+func benchmarkFleet(b *testing.B, n int, span time.Duration) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := fleetBenchConfig(n, span, workers)
+			b.ReportAllocs()
+			var delivered int
+			for i := 0; i < b.N; i++ {
+				res, err := multiscatter.RunFleet(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				delivered = res.Outcomes[sim.Delivered]
+			}
+			b.ReportMetric(float64(n), "tags")
+			b.ReportMetric(float64(delivered), "delivered")
+		})
+	}
+}
+
+func BenchmarkFleet100Tags(b *testing.B) {
+	benchmarkFleet(b, 100, 2*time.Second)
+}
+
+func BenchmarkFleet1000Tags(b *testing.B) {
+	benchmarkFleet(b, 1000, 2*time.Second)
+}

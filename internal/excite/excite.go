@@ -152,6 +152,34 @@ func Timeline(sources []Source, span time.Duration, rng *rand.Rand) []Event {
 	return events
 }
 
+// CollisionFlags marks, for every event of a start-sorted timeline,
+// whether it overlaps in time with any event from a different source.
+// The tag has no channel filter, so any time overlap corrupts the
+// envelope regardless of frequency separation. The flags depend only on
+// the timeline, so deployment simulators (internal/sim, internal/fleet)
+// compute them once and share them across tags.
+func CollisionFlags(events []Event) []bool {
+	flags := make([]bool, len(events))
+	for i, e := range events {
+		// Events are sorted by start; scan neighbours both ways.
+		for j := i - 1; j >= 0 && events[j].End() > e.Start; j-- {
+			if events[j].Source != e.Source {
+				flags[i] = true
+				break
+			}
+		}
+		if !flags[i] {
+			for j := i + 1; j < len(events) && events[j].Start < e.End(); j++ {
+				if events[j].Source != e.Source {
+					flags[i] = true
+					break
+				}
+			}
+		}
+	}
+	return flags
+}
+
 // CollisionStats summarizes one source's exposure on a timeline.
 type CollisionStats struct {
 	// Packets emitted by the source.

@@ -1,0 +1,112 @@
+package excite
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestScenarioTimelinesDeterministic: the same seed must reproduce every
+// named scenario's timeline event-for-event — fleet runs depend on it.
+func TestScenarioTimelinesDeterministic(t *testing.T) {
+	for _, sc := range Scenarios() {
+		a := Timeline(sc.Sources, 2*time.Second, rand.New(rand.NewSource(99)))
+		b := Timeline(sc.Sources, 2*time.Second, rand.New(rand.NewSource(99)))
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ: %d vs %d", sc.Name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: event %d differs: %+v vs %+v", sc.Name, i, a[i], b[i])
+			}
+		}
+		// A different seed must actually move the timeline.
+		c := Timeline(sc.Sources, 2*time.Second, rand.New(rand.NewSource(100)))
+		same := len(a) == len(c)
+		if same {
+			for i := range a {
+				if a[i] != c[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatalf("%s: seed 99 and 100 produced identical timelines", sc.Name)
+		}
+	}
+}
+
+// TestScenarioTimelineRates: each scenario's per-source event counts are
+// Poisson draws, so over a long span they concentrate near rate×span.
+// 5σ bounds keep the test deterministic-in-practice for fixed seeds.
+func TestScenarioTimelineRates(t *testing.T) {
+	span := 10 * time.Second
+	for _, sc := range Scenarios() {
+		events := Timeline(sc.Sources, span, rand.New(rand.NewSource(7)))
+		counts := make([]float64, len(sc.Sources))
+		for _, e := range events {
+			counts[e.Source]++
+		}
+		for i, src := range sc.Sources {
+			mean := src.PacketRate * span.Seconds()
+			sigma := math.Sqrt(mean)
+			if math.Abs(counts[i]-mean) > 5*sigma {
+				t.Errorf("%s source %d (%v @ %g pkt/s): %d events, want %.0f ± %.0f",
+					sc.Name, i, src.Protocol, src.PacketRate, int(counts[i]), mean, 5*sigma)
+			}
+		}
+	}
+}
+
+// TestCollisionFlags: the shared tag-side view of excitation collisions —
+// an event is flagged iff it time-overlaps an event of another source.
+func TestCollisionFlags(t *testing.T) {
+	ms := time.Millisecond
+	events := []Event{
+		{Start: 0, Duration: 10 * ms, Source: 0},      // overlaps #1
+		{Start: 5 * ms, Duration: 10 * ms, Source: 1}, // overlaps #0
+		{Start: 30 * ms, Duration: 5 * ms, Source: 0}, // clean
+		{Start: 31 * ms, Duration: 5 * ms, Source: 0}, // same source: no flag
+		{Start: 50 * ms, Duration: 5 * ms, Source: 1}, // clean
+	}
+	got := CollisionFlags(events)
+	want := []bool{true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flags = %v, want %v", got, want)
+		}
+	}
+	if len(CollisionFlags(nil)) != 0 {
+		t.Fatal("nil timeline should give no flags")
+	}
+}
+
+// TestCollisionFlagsMatchCollisions: on a real scenario the flags must
+// agree with the per-source Collisions accounting.
+func TestCollisionFlagsMatchCollisions(t *testing.T) {
+	sc, err := FindScenario("office")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := Timeline(sc.Sources, 2*time.Second, rand.New(rand.NewSource(11)))
+	flags := CollisionFlags(events)
+	flagged := 0
+	for _, f := range flags {
+		if f {
+			flagged++
+		}
+	}
+	stats := Collisions(events, len(sc.Sources))
+	collided := 0
+	for _, s := range stats {
+		collided += s.Collided
+	}
+	if flagged != collided {
+		t.Fatalf("CollisionFlags marks %d events, Collisions counts %d", flagged, collided)
+	}
+	if flagged == 0 {
+		t.Fatal("office scenario should produce collisions")
+	}
+}

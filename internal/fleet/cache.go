@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multiscatter/internal/channel"
+	"multiscatter/internal/core"
+	"multiscatter/internal/overlay"
+	"multiscatter/internal/radio"
+	"multiscatter/internal/sim"
+)
+
+// linkKey identifies one calibrated-link working point: a protocol heard
+// over a quantized tag→receiver distance under one overlay mode. Tags
+// sharing a distance bucket share the entry, so the per-packet hot path
+// never recomputes the RSSI/PER chain (log-distance path loss, Q-function
+// BER, PER products) that dominates a naive per-packet evaluation.
+type linkKey struct {
+	protocol radio.Protocol
+	bucket   int
+	mode     overlay.Mode
+}
+
+// linkEntry is one cached working point.
+type linkEntry struct {
+	// RSSIdBm of the backscattered signal at the receiver.
+	RSSIdBm float64
+	// InRange reports whether the receiver still synchronizes.
+	InRange bool
+	// PERTag is the tag-data packet error rate under the protocol's
+	// default traffic shape and the entry's mode.
+	PERTag float64
+}
+
+// bitsKey caches sim.PacketBits per (protocol, on-air duration, mode);
+// excitation sources emit fixed-duration packets, so the key space stays
+// tiny while the per-packet division/kappa arithmetic is paid once.
+type bitsKey struct {
+	protocol radio.Protocol
+	duration time.Duration
+	mode     overlay.Mode
+}
+
+type bitsEntry struct {
+	productive int
+	tag        int
+}
+
+// CacheStats reports calibrated-link cache effectiveness. Lookups counts
+// hot-path reads; Entries and BitsEntries count distinct working points
+// materialized. Misses counts lookups that had to fall back to computing
+// an entry under the write lock — zero when the prefill covered every
+// (tag, protocol, mode) combination, as it does for static fleets.
+type CacheStats struct {
+	Entries     int   `json:"entries"`
+	BitsEntries int   `json:"bits_entries"`
+	Lookups     int64 `json:"lookups"`
+	Misses      int64 `json:"misses"`
+}
+
+// linkCache is the calibrated-link cache shared by every shard of one
+// fleet run. It is prefilled serially from the (static) tag placements
+// before the worker pool starts, after which the hot path is lock-free
+// reads; the mutex only guards the fallback fill for keys the prefill
+// did not anticipate.
+type linkCache struct {
+	bucketM float64
+	links   map[radio.Protocol]*core.Link
+
+	mu      sync.RWMutex
+	entries map[linkKey]linkEntry
+	bits    map[bitsKey]bitsEntry
+
+	lookups atomic.Int64
+	misses  atomic.Int64
+}
+
+func newLinkCache(ch *channel.Model, bucketM float64) *linkCache {
+	links := make(map[radio.Protocol]*core.Link, len(radio.Protocols))
+	for _, p := range radio.Protocols {
+		links[p] = core.NewLink(p, ch)
+	}
+	return &linkCache{
+		bucketM: bucketM,
+		links:   links,
+		entries: map[linkKey]linkEntry{},
+		bits:    map[bitsKey]bitsEntry{},
+	}
+}
+
+// bucketOf quantizes a distance to the cache resolution.
+func (c *linkCache) bucketOf(d float64) int {
+	b := int(d/c.bucketM + 0.5)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// distanceOf returns the representative distance of a bucket.
+func (c *linkCache) distanceOf(bucket int) float64 {
+	return float64(bucket) * c.bucketM
+}
+
+func (c *linkCache) compute(k linkKey) linkEntry {
+	l := c.links[k.protocol]
+	d := c.distanceOf(k.bucket)
+	e := linkEntry{RSSIdBm: l.RSSI(d), InRange: l.InRange(d)}
+	if e.InRange {
+		_, e.PERTag = l.PERs(d, k.mode, overlay.DefaultTraffic(k.protocol))
+	} else {
+		e.PERTag = 1
+	}
+	return e
+}
+
+// fill materializes the entry for (p, bucket, mode); called serially
+// during prefill.
+func (c *linkCache) fill(p radio.Protocol, bucket int, mode overlay.Mode) {
+	k := linkKey{p, bucket, mode}
+	if _, ok := c.entries[k]; !ok {
+		c.entries[k] = c.compute(k)
+	}
+}
+
+// fillBits materializes the packet-capacity entry for (p, dur, mode).
+func (c *linkCache) fillBits(p radio.Protocol, dur time.Duration, mode overlay.Mode) {
+	k := bitsKey{p, dur, mode}
+	if _, ok := c.bits[k]; !ok {
+		prod, tag := sim.PacketBits(p, dur, mode)
+		c.bits[k] = bitsEntry{productive: prod, tag: tag}
+	}
+}
+
+// link returns the cached working point, computing it under the write
+// lock on a prefill miss.
+func (c *linkCache) link(p radio.Protocol, bucket int, mode overlay.Mode) linkEntry {
+	c.lookups.Add(1)
+	k := linkKey{p, bucket, mode}
+	c.mu.RLock()
+	e, ok := c.entries[k]
+	c.mu.RUnlock()
+	if ok {
+		return e
+	}
+	c.misses.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok = c.entries[k]; ok {
+		return e
+	}
+	e = c.compute(k)
+	c.entries[k] = e
+	return e
+}
+
+// packetBits returns the cached overlay capacity of one packet.
+func (c *linkCache) packetBits(p radio.Protocol, dur time.Duration, mode overlay.Mode) (int, int) {
+	c.lookups.Add(1)
+	k := bitsKey{p, dur, mode}
+	c.mu.RLock()
+	e, ok := c.bits[k]
+	c.mu.RUnlock()
+	if ok {
+		return e.productive, e.tag
+	}
+	c.misses.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok = c.bits[k]; ok {
+		return e.productive, e.tag
+	}
+	prod, tag := sim.PacketBits(p, dur, mode)
+	c.bits[k] = bitsEntry{productive: prod, tag: tag}
+	return prod, tag
+}
+
+// stats snapshots the cache counters.
+func (c *linkCache) stats() CacheStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return CacheStats{
+		Entries:     len(c.entries),
+		BitsEntries: len(c.bits),
+		Lookups:     c.lookups.Load(),
+		Misses:      c.misses.Load(),
+	}
+}

@@ -1,0 +1,435 @@
+// Package fleet scales the single-tag deployment simulator of
+// internal/sim to production-shaped workloads: N backscatter tags placed
+// on a floor-plan grid, M excitation sources feeding one shared packet
+// timeline, and K receivers, executed as one deployment. Work is sharded
+// over a GOMAXPROCS-sized worker pool with deterministic parallel RNG
+// (per-shard seed = Config.Seed + shardID), so a fleet run reproduces
+// byte-for-byte regardless of scheduling or GOMAXPROCS. Cross-tag
+// collision accounting models the interference of two tags backscattering
+// the same excitation packet at the same receiver, resolved by a capture
+// margin; a calibrated-link cache keyed by (protocol, distance bucket,
+// mode) keeps the per-packet hot path free of repeated RSSI/BER/PER
+// computation.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"multiscatter/internal/channel"
+	"multiscatter/internal/energy"
+	"multiscatter/internal/excite"
+	"multiscatter/internal/overlay"
+	"multiscatter/internal/radio"
+	"multiscatter/internal/sim"
+)
+
+const (
+	// protocolSlots sizes per-protocol arrays (ProtocolUnknown..80211n).
+	protocolSlots = int(radio.Protocol80211n) + 1
+	// outcomeSlots sizes per-outcome arrays (Delivered..CrossCollided).
+	outcomeSlots = int(sim.CrossCollided) + 1
+	// maxShards bounds the shard count. It is a fixed constant — NOT a
+	// function of Workers or GOMAXPROCS — because the shard partition
+	// determines RNG stream assignment and must not change with the
+	// degree of parallelism.
+	maxShards = 64
+)
+
+// TagSpec places and configures one tag of the fleet.
+type TagSpec struct {
+	// X, Y position on the floor plan in metres.
+	X, Y float64
+	// Supported protocols; empty means all four.
+	Supported []radio.Protocol
+	// IdentAccuracy overrides the per-protocol identification
+	// probability; zero entries default to the paper's 2.5 Msps
+	// extended-window figures (sim.DefaultIdentAccuracy).
+	IdentAccuracy map[radio.Protocol]float64
+	// Mode is the overlay operating mode (default Mode1).
+	Mode overlay.Mode
+	// Energy limits operation when non-nil; nil means always powered.
+	Energy *sim.EnergyConfig
+}
+
+// ReceiverSpec places one commodity receiver on the floor plan.
+type ReceiverSpec struct {
+	X, Y float64
+}
+
+// Config describes one fleet deployment.
+type Config struct {
+	// Sources emit the shared excitation timeline.
+	Sources []excite.Source
+	// Tags of the fleet. Use PlaceGrid for floor-plan grids.
+	Tags []TagSpec
+	// Receivers; empty defaults to one receiver at the tag centroid.
+	// Each tag reports to its nearest receiver, and cross-tag collisions
+	// are arbitrated per receiver.
+	Receivers []ReceiverSpec
+	// Channel model (default LoS).
+	Channel *channel.Model
+	// Span of the simulation (default 10 s).
+	Span time.Duration
+	// BucketMS sizes the fleet-throughput timeline buckets (default 500).
+	BucketMS int
+	// Seed for reproducibility. The excitation timeline draws from
+	// sim.SeedRNG(Seed, StreamFleetTimeline); shard s draws from
+	// sim.SeedRNG(Seed+s, StreamFleetShard/StreamFleetDownlink).
+	Seed int64
+	// Workers sizes the worker pool (default runtime.GOMAXPROCS(0)).
+	// The result is identical for every value.
+	Workers int
+	// CaptureDB is the RSSI margin by which the strongest of several
+	// tags backscattering the same packet must beat the runner-up to be
+	// captured by the receiver (default 10 dB). Below the margin all
+	// colliding tags lose the packet.
+	CaptureDB float64
+	// DistanceBucketM is the calibrated-link cache resolution in metres
+	// (default 0.25).
+	DistanceBucketM float64
+}
+
+// PlaceGrid places n tags on a w×h-metre floor plan in a near-square
+// grid, row-major from the origin corner, inset by half a cell so no tag
+// sits on a wall.
+func PlaceGrid(n int, w, h float64) []TagSpec {
+	if n <= 0 {
+		return nil
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(n) * w / h)))
+	if cols < 1 {
+		cols = 1
+	}
+	rows := (n + cols - 1) / cols
+	tags := make([]TagSpec, 0, n)
+	for i := 0; i < n; i++ {
+		r, c := i/cols, i%cols
+		tags = append(tags, TagSpec{
+			X: (float64(c) + 0.5) * w / float64(cols),
+			Y: (float64(r) + 0.5) * h / float64(rows),
+		})
+	}
+	return tags
+}
+
+// PlaceReceivers spreads k receivers over a w×h floor plan on its own
+// near-square grid, so every tag has a receiver within a fraction of the
+// floor diagonal.
+func PlaceReceivers(k int, w, h float64) []ReceiverSpec {
+	specs := PlaceGrid(k, w, h)
+	out := make([]ReceiverSpec, len(specs))
+	for i, s := range specs {
+		out[i] = ReceiverSpec{X: s.X, Y: s.Y}
+	}
+	return out
+}
+
+// contention aggregates, for one (receiver, packet) pair, which tags
+// backscattered the packet. Merged serially in tag-ID order, so the
+// winner of an RSSI tie is the lowest tag ID and the aggregate is
+// deterministic.
+type contention struct {
+	count      int32
+	bestTag    int32
+	bestRSSI   float64
+	secondRSSI float64
+}
+
+// tagRun is the per-tag working state and partial result.
+type tagRun struct {
+	spec      TagSpec
+	id        int
+	rx        int
+	dist      float64
+	bucket    int
+	mode      overlay.Mode
+	supported [protocolSlots]bool
+	accuracy  [protocolSlots]float64
+
+	// responses lists the timeline indices this tag backscattered
+	// (awake, clean, identified, supported).
+	responses []int32
+	// counts[protocol][outcome] accumulates the packet fates.
+	counts  [protocolSlots][outcomeSlots]int
+	packets [protocolSlots]int
+	tagBits [protocolSlots]int
+	buckets []float64
+
+	energyRounds int
+}
+
+// Run executes the fleet deployment.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Sources) == 0 {
+		return nil, fmt.Errorf("fleet: no excitation sources")
+	}
+	if len(cfg.Tags) == 0 {
+		return nil, fmt.Errorf("fleet: no tags")
+	}
+	if cfg.Span <= 0 {
+		cfg.Span = 10 * time.Second
+	}
+	if cfg.BucketMS <= 0 {
+		cfg.BucketMS = 500
+	}
+	if cfg.Channel == nil {
+		cfg.Channel = channel.NewLoS()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CaptureDB <= 0 {
+		cfg.CaptureDB = 10
+	}
+	if cfg.DistanceBucketM <= 0 {
+		cfg.DistanceBucketM = 0.25
+	}
+	receivers := cfg.Receivers
+	if len(receivers) == 0 {
+		var cx, cy float64
+		for _, t := range cfg.Tags {
+			cx += t.X
+			cy += t.Y
+		}
+		n := float64(len(cfg.Tags))
+		receivers = []ReceiverSpec{{X: cx / n, Y: cy / n}}
+	}
+
+	// Shared excitation timeline and its tag-side collision flags: both
+	// are properties of the air, identical for every tag, so they are
+	// computed once and shared read-only across the pool.
+	events := excite.Timeline(cfg.Sources, cfg.Span, sim.SeedRNG(cfg.Seed, sim.StreamFleetTimeline))
+	collided := excite.CollisionFlags(events)
+	exciteCollided := 0
+	for _, c := range collided {
+		if c {
+			exciteCollided++
+		}
+	}
+
+	bucketDur := time.Duration(cfg.BucketMS) * time.Millisecond
+	numBuckets := int(cfg.Span/bucketDur) + 1
+
+	// Per-tag state: receiver assignment, link-cache bucket, profile.
+	cache := newLinkCache(cfg.Channel, cfg.DistanceBucketM)
+	tags := make([]*tagRun, len(cfg.Tags))
+	modes := map[overlay.Mode]bool{}
+	for i, spec := range cfg.Tags {
+		t := &tagRun{spec: spec, id: i, mode: spec.Mode, buckets: make([]float64, numBuckets)}
+		if t.mode == 0 {
+			t.mode = overlay.Mode1
+		}
+		modes[t.mode] = true
+		t.rx = 0
+		best := math.Inf(1)
+		for ri, r := range receivers {
+			d := math.Hypot(spec.X-r.X, spec.Y-r.Y)
+			if d < best {
+				best, t.rx = d, ri
+			}
+		}
+		t.dist = best
+		t.bucket = cache.bucketOf(best)
+		if len(spec.Supported) == 0 {
+			for _, p := range radio.Protocols {
+				t.supported[p] = true
+			}
+		} else {
+			for _, p := range spec.Supported {
+				t.supported[p] = true
+			}
+		}
+		for _, p := range radio.Protocols {
+			a := spec.IdentAccuracy[p]
+			if a <= 0 {
+				a = sim.DefaultIdentAccuracy[p]
+			}
+			t.accuracy[p] = a
+		}
+		tags[i] = t
+	}
+
+	// Prefill the calibrated-link cache serially: tag placements are
+	// static, so every (protocol, bucket, mode) working point and every
+	// (protocol, duration, mode) packet capacity is known up front and
+	// the parallel phases run on lock-free reads.
+	for _, t := range tags {
+		for _, p := range radio.Protocols {
+			cache.fill(p, t.bucket, t.mode)
+		}
+	}
+	for _, s := range cfg.Sources {
+		for m := range modes {
+			cache.fillBits(s.Protocol, s.PacketDuration, m)
+		}
+	}
+
+	// Shard the fleet: a fixed partition (independent of Workers) so the
+	// per-shard RNG streams, and therefore the results, do not move when
+	// the pool is resized.
+	numShards := len(tags)
+	if numShards > maxShards {
+		numShards = maxShards
+	}
+	shardTags := make([][]*tagRun, numShards)
+	for _, t := range tags {
+		s := t.id % numShards
+		shardTags[s] = append(shardTags[s], t)
+	}
+
+	// Phase 1 — identification: every tag classifies every packet
+	// (asleep / collided / misidentified / unsupported / responds).
+	runShards(cfg.Workers, numShards, func(shard int) {
+		rng := sim.SeedRNG(cfg.Seed+int64(shard), sim.StreamFleetShard)
+		for _, t := range shardTags[shard] {
+			var harvester *energy.Harvester
+			var lux float64
+			if ec := t.spec.Energy; ec != nil {
+				load := ec.LoadW
+				if load <= 0 {
+					load = 0.2795
+				}
+				harvester = energy.NewHarvester(energy.NewMP337(), load)
+				lux = ec.Lux
+				if ec.StartCharged {
+					for !harvester.Step(0.05, 1e9) {
+					}
+				}
+			}
+			clock := time.Duration(0)
+			wasActive := harvester == nil || harvester.Active()
+			for i, e := range events {
+				p := e.Protocol
+				t.packets[p]++
+				if harvester != nil {
+					for clock < e.Start {
+						step := e.Start - clock
+						if step > 10*time.Millisecond {
+							step = 10 * time.Millisecond
+						}
+						active := harvester.Step(step.Seconds(), lux)
+						if active && !wasActive {
+							t.energyRounds++
+						}
+						wasActive = active
+						clock += step
+					}
+					if !harvester.Active() {
+						t.counts[p][sim.TagAsleep]++
+						continue
+					}
+					harvester.Step(e.Duration.Seconds(), lux)
+				}
+				if collided[i] {
+					t.counts[p][sim.Collided]++
+					continue
+				}
+				if rng.Float64() > t.accuracy[p] {
+					t.counts[p][sim.Misidentified]++
+					continue
+				}
+				if !t.supported[p] {
+					t.counts[p][sim.Unsupported]++
+					continue
+				}
+				t.responses = append(t.responses, int32(i))
+			}
+		}
+	})
+
+	// Merge — cross-tag contention: serial, in tag-ID order, so RSSI
+	// ties resolve to the lowest tag ID deterministically. Two tags
+	// backscattering the same excitation packet toward the same receiver
+	// interfere; the receiver captures the strongest only if it clears
+	// the capture margin.
+	cont := make([][]contention, len(receivers))
+	for ri := range cont {
+		cont[ri] = make([]contention, len(events))
+	}
+	for _, t := range tags {
+		for _, ei := range t.responses {
+			p := events[ei].Protocol
+			rssi := cache.link(p, t.bucket, t.mode).RSSIdBm
+			c := &cont[t.rx][ei]
+			c.count++
+			switch {
+			case c.count == 1:
+				c.bestTag, c.bestRSSI, c.secondRSSI = int32(t.id), rssi, math.Inf(-1)
+			case rssi > c.bestRSSI:
+				c.secondRSSI = c.bestRSSI
+				c.bestTag, c.bestRSSI = int32(t.id), rssi
+			case rssi > c.secondRSSI:
+				c.secondRSSI = rssi
+			}
+		}
+	}
+
+	// Phase 2 — downlink: winners of the contention deliver their
+	// overlay bits if the calibrated link sustains them.
+	runShards(cfg.Workers, numShards, func(shard int) {
+		rng := sim.SeedRNG(cfg.Seed+int64(shard), sim.StreamFleetDownlink)
+		for _, t := range shardTags[shard] {
+			for _, ei := range t.responses {
+				e := events[ei]
+				p := e.Protocol
+				c := &cont[t.rx][ei]
+				if c.count > 1 && (c.bestTag != int32(t.id) || c.bestRSSI-c.secondRSSI < cfg.CaptureDB) {
+					t.counts[p][sim.CrossCollided]++
+					continue
+				}
+				entry := cache.link(p, t.bucket, t.mode)
+				if !entry.InRange {
+					t.counts[p][sim.LostDownlink]++
+					continue
+				}
+				if entry.PERTag > 0 && rng.Float64() < entry.PERTag {
+					t.counts[p][sim.LostDownlink]++
+					continue
+				}
+				t.counts[p][sim.Delivered]++
+				_, bits := cache.packetBits(p, e.Duration, t.mode)
+				t.tagBits[p] += bits
+				if b := int(e.Start / bucketDur); b < len(t.buckets) {
+					t.buckets[b] += float64(bits)
+				}
+			}
+		}
+	})
+
+	return reduce(cfg, receivers, tags, len(events), exciteCollided, bucketDur, cache)
+}
+
+// runShards executes fn(shard) for every shard on a pool of workers
+// (sync.WaitGroup + channel). Each shard's work is self-contained, so
+// scheduling order cannot influence results.
+func runShards(workers, shards int, fn func(shard int)) {
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for s := 0; s < shards; s++ {
+			fn(s)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range next {
+				fn(s)
+			}
+		}()
+	}
+	for s := 0; s < shards; s++ {
+		next <- s
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,365 @@
+package fleet
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"multiscatter/internal/channel"
+	"multiscatter/internal/excite"
+	"multiscatter/internal/radio"
+	"multiscatter/internal/sim"
+)
+
+func wifiSource(rate float64) excite.Source {
+	s := excite.NewWiFi11nSource()
+	s.PacketRate = rate
+	return s
+}
+
+// perfectAccuracy removes identification randomness from a test.
+var perfectAccuracy = map[radio.Protocol]float64{
+	radio.Protocol80211n: 1, radio.Protocol80211b: 1,
+	radio.ProtocolBLE: 1, radio.ProtocolZigBee: 1,
+}
+
+func TestRunBasicFleet(t *testing.T) {
+	cfg := Config{
+		Sources: []excite.Source{wifiSource(200), excite.NewBLEAdvSource()},
+		Tags:    PlaceGrid(9, 6, 6),
+		Span:    2 * time.Second,
+		Seed:    1,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumTags != 9 || res.NumReceivers != 1 {
+		t.Fatalf("deployment shape: %d tags, %d receivers", res.NumTags, res.NumReceivers)
+	}
+	if res.Events < 300 || res.Events > 600 {
+		t.Fatalf("events = %d, want ≈430", res.Events)
+	}
+	if res.FleetTagKbps <= 0 {
+		t.Fatal("no fleet throughput")
+	}
+	if len(res.Tags) != 9 {
+		t.Fatalf("per-tag results = %d", len(res.Tags))
+	}
+	// Opportunities = events × tags.
+	var packets int
+	for _, pt := range res.PerProtocol {
+		packets += pt.Packets
+	}
+	if packets != res.Events*res.NumTags {
+		t.Fatalf("opportunities = %d, want %d", packets, res.Events*res.NumTags)
+	}
+	// A 6×6 m room with one central receiver: every tag in range, and
+	// with 9 co-located tags contending, cross-collisions must appear.
+	if res.Outcomes[sim.CrossCollided] == 0 {
+		t.Fatal("9 tags sharing one receiver should cross-collide")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Config{Tags: PlaceGrid(1, 1, 1)}); err == nil {
+		t.Fatal("expected error without sources")
+	}
+	if _, err := Run(Config{Sources: []excite.Source{wifiSource(10)}}); err == nil {
+		t.Fatal("expected error without tags")
+	}
+}
+
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	cfg := Config{
+		Sources:   []excite.Source{wifiSource(300), excite.NewBLEAdvSource(), excite.NewZigBeeSource()},
+		Tags:      PlaceGrid(60, 30, 50),
+		Receivers: PlaceReceivers(2, 30, 50),
+		Span:      2 * time.Second,
+		Seed:      7,
+	}
+	// Some tags harvest, some are single-protocol, to exercise every
+	// code path under both pool sizes.
+	cfg.Tags[3].Energy = &sim.EnergyConfig{Lux: 1.04e5, StartCharged: true}
+	cfg.Tags[5].Supported = []radio.Protocol{radio.Protocol80211n}
+
+	prev := runtime.GOMAXPROCS(1)
+	cfg.Workers = 1
+	serial, err := Run(cfg)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GOMAXPROCS(runtime.NumCPU())
+	defer runtime.GOMAXPROCS(prev)
+	cfg.Workers = runtime.NumCPU() * 2 // oversubscribe to stress scheduling
+	parallel, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("fleet result differs between workers=1/GOMAXPROCS=1 and a parallel pool")
+	}
+
+	// And byte-for-byte: the rendered artifacts must match too.
+	sj, _ := json.Marshal(serial)
+	pj, _ := json.Marshal(parallel)
+	if string(sj) != string(pj) {
+		t.Fatal("JSON artifacts differ across pool sizes")
+	}
+}
+
+func TestCrossTagCollisionSamePosition(t *testing.T) {
+	// Two co-located tags respond to every packet with identical RSSI:
+	// neither clears the capture margin, so nothing is delivered.
+	spec := TagSpec{X: 1, Y: 0, IdentAccuracy: perfectAccuracy}
+	cfg := Config{
+		Sources:   []excite.Source{wifiSource(100)},
+		Tags:      []TagSpec{spec, spec},
+		Receivers: []ReceiverSpec{{X: 0, Y: 0}},
+		Span:      time.Second,
+		Seed:      3,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Outcomes[sim.Delivered]; got != 0 {
+		t.Fatalf("co-located tags delivered %d packets, want 0", got)
+	}
+	if res.Outcomes[sim.CrossCollided] != res.Events*2 {
+		t.Fatalf("cross-collided = %d, want %d", res.Outcomes[sim.CrossCollided], res.Events*2)
+	}
+
+	// A single tag in the same deployment delivers everything.
+	cfg.Tags = []TagSpec{spec}
+	solo, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Outcomes[sim.Delivered] != solo.Events {
+		t.Fatalf("solo tag delivered %d/%d", solo.Outcomes[sim.Delivered], solo.Events)
+	}
+}
+
+func TestCaptureMargin(t *testing.T) {
+	// Near tag (2 m) vs far tag (16 m): the dyadic backscatter link gives
+	// the near tag tens of dB of advantage, far beyond the 10 dB capture
+	// margin, so the receiver captures it and only the far tag loses.
+	near := TagSpec{X: 2, Y: 0, IdentAccuracy: perfectAccuracy}
+	far := TagSpec{X: 16, Y: 0, IdentAccuracy: perfectAccuracy}
+	cfg := Config{
+		Sources:   []excite.Source{wifiSource(100)},
+		Tags:      []TagSpec{near, far},
+		Receivers: []ReceiverSpec{{X: 0, Y: 0}},
+		Span:      time.Second,
+		Seed:      4,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nearR, farR := res.Tags[0], res.Tags[1]
+	if nearR.Outcomes[sim.Delivered] == 0 || nearR.Outcomes[sim.CrossCollided] != 0 {
+		t.Fatalf("near tag should capture: %+v", nearR.Outcomes)
+	}
+	if farR.Outcomes[sim.CrossCollided] != res.Events {
+		t.Fatalf("far tag should lose every contention: %+v", farR.Outcomes)
+	}
+	if res.Fairness >= 0.99 {
+		t.Fatalf("capture asymmetry must show up in fairness, got %v", res.Fairness)
+	}
+}
+
+func TestFairnessSymmetricFleet(t *testing.T) {
+	// Four tags at the receiver's corners: identical distances, no
+	// contention winner — but also no delivery. Use well-separated
+	// receivers instead: one tag each, so all deliver equally.
+	cfg := Config{
+		Sources:   []excite.Source{wifiSource(150)},
+		Tags:      []TagSpec{{X: 1, Y: 1}, {X: 99, Y: 1}, {X: 1, Y: 99}, {X: 99, Y: 99}},
+		Receivers: []ReceiverSpec{{X: 2, Y: 2}, {X: 98, Y: 2}, {X: 2, Y: 98}, {X: 98, Y: 98}},
+		Span:      2 * time.Second,
+		Seed:      5,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes[sim.CrossCollided] != 0 {
+		t.Fatalf("separated receivers should not contend: %+v", res.Outcomes)
+	}
+	if res.Fairness < 0.95 {
+		t.Fatalf("symmetric fleet fairness = %v, want ≈1", res.Fairness)
+	}
+	if res.Outcomes[sim.Delivered] == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestLinkCachePrefilled(t *testing.T) {
+	res, err := Run(Config{
+		Sources: []excite.Source{wifiSource(200), excite.NewZigBeeSource()},
+		Tags:    PlaceGrid(25, 10, 10),
+		Span:    time.Second,
+		Seed:    6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache.Misses != 0 {
+		t.Fatalf("static fleet should be fully prefilled, got %d misses", res.Cache.Misses)
+	}
+	if res.Cache.Entries == 0 || res.Cache.BitsEntries == 0 || res.Cache.Lookups == 0 {
+		t.Fatalf("cache unused: %+v", res.Cache)
+	}
+	// 25 tags × 4 protocols is the key ceiling; bucketing collapses
+	// symmetric grid positions well below it.
+	if res.Cache.Entries > 25*4 {
+		t.Fatalf("cache entries = %d, want ≤ %d", res.Cache.Entries, 25*4)
+	}
+}
+
+func TestLinkCacheFallbackPath(t *testing.T) {
+	c := newLinkCache(channel.NewLoS(), 0.25)
+	e := c.link(radio.ProtocolBLE, c.bucketOf(2), 1) // cold key → computed under lock
+	if !e.InRange {
+		t.Fatal("BLE at 2 m should be in range")
+	}
+	if got := c.stats(); got.Misses != 1 || got.Entries != 1 || got.Lookups != 1 {
+		t.Fatalf("cold lookup stats: %+v", got)
+	}
+	if again := c.link(radio.ProtocolBLE, c.bucketOf(2), 1); again != e {
+		t.Fatal("cached entry changed")
+	}
+	if got := c.stats(); got.Misses != 1 || got.Lookups != 2 {
+		t.Fatalf("warm lookup stats: %+v", got)
+	}
+	// Same bucket, same entry: 2.0 m and 2.1 m share a 0.25 m bucket.
+	if c.bucketOf(2.0) != c.bucketOf(2.1) {
+		t.Fatal("bucketing too fine")
+	}
+	if prod, tag := c.packetBits(radio.Protocol80211b, 2192*time.Microsecond, 1); prod != 250 || tag != 250 {
+		t.Fatalf("packetBits = %d/%d, want 250/250", prod, tag)
+	}
+}
+
+func TestEnergyLimitedFleet(t *testing.T) {
+	tags := PlaceGrid(4, 4, 4)
+	for i := range tags {
+		tags[i].Energy = &sim.EnergyConfig{Lux: 500}
+	}
+	res, err := Run(Config{
+		Sources: []excite.Source{wifiSource(100)},
+		Tags:    tags,
+		Span:    5 * time.Second,
+		Seed:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asleep := res.Outcomes[sim.TagAsleep]
+	total := res.Events * res.NumTags
+	if float64(asleep)/float64(total) < 0.95 {
+		t.Fatalf("indoor harvesting fleet should sleep ≈100%%: %d/%d", asleep, total)
+	}
+}
+
+func TestSingleProtocolTags(t *testing.T) {
+	tags := []TagSpec{{X: 1, Y: 1, Supported: []radio.Protocol{radio.ProtocolZigBee}}}
+	res, err := Run(Config{
+		Sources: []excite.Source{wifiSource(100)},
+		Tags:    tags,
+		Span:    time.Second,
+		Seed:    9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes[sim.Delivered] != 0 {
+		t.Fatal("ZigBee-only tag must not deliver on 802.11n")
+	}
+	if res.Outcomes[sim.Unsupported] == 0 {
+		t.Fatal("unsupported packets not accounted")
+	}
+}
+
+func TestPlaceGrid(t *testing.T) {
+	for _, n := range []int{1, 7, 50, 100} {
+		tags := PlaceGrid(n, 30, 50)
+		if len(tags) != n {
+			t.Fatalf("PlaceGrid(%d) returned %d tags", n, len(tags))
+		}
+		seen := map[[2]float64]bool{}
+		for _, tag := range tags {
+			if tag.X <= 0 || tag.X >= 30 || tag.Y <= 0 || tag.Y >= 50 {
+				t.Fatalf("tag outside floor plan: %+v", tag)
+			}
+			k := [2]float64{tag.X, tag.Y}
+			if seen[k] {
+				t.Fatalf("duplicate position %v", k)
+			}
+			seen[k] = true
+		}
+	}
+	if PlaceGrid(0, 10, 10) != nil {
+		t.Fatal("no tags for n=0")
+	}
+	if len(PlaceReceivers(3, 30, 50)) != 3 {
+		t.Fatal("PlaceReceivers count")
+	}
+}
+
+func TestMarkdownAndJSON(t *testing.T) {
+	res, err := Run(Config{
+		Sources: []excite.Source{wifiSource(100), excite.NewBLEAdvSource()},
+		Tags:    PlaceGrid(4, 8, 8),
+		Span:    time.Second,
+		Seed:    10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := res.Markdown()
+	for _, want := range []string{"fleet deployment", "802.11n", "Jain fairness", "Timeline"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := decoded["fleet_tag_kbps"]; !ok {
+		t.Fatal("JSON missing fleet_tag_kbps")
+	}
+	// Outcome histograms must use readable names.
+	if !strings.Contains(string(raw), `"delivered"`) {
+		t.Fatal("outcome names not in JSON")
+	}
+	top := res.TopTags(2)
+	if len(top) != 2 || top[0].TagKbps < top[1].TagKbps {
+		t.Fatalf("TopTags not sorted: %+v", top)
+	}
+}
+
+func TestJain(t *testing.T) {
+	if f := jain([]TagResult{{TagKbps: 5}, {TagKbps: 5}}); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("equal rates → 1, got %v", f)
+	}
+	if f := jain([]TagResult{{TagKbps: 10}, {TagKbps: 0}}); math.Abs(f-0.5) > 1e-12 {
+		t.Fatalf("monopolized pair → 0.5, got %v", f)
+	}
+	if f := jain([]TagResult{{}, {}}); f != 1 {
+		t.Fatalf("all-zero fleet → 1, got %v", f)
+	}
+}

@@ -9,7 +9,6 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"multiscatter/internal/channel"
@@ -38,6 +37,10 @@ const (
 	Unsupported
 	// LostDownlink: the backscattered packet did not reach the receiver.
 	LostDownlink
+	// CrossCollided: another tag of the same fleet backscattered the same
+	// excitation packet and neither cleared the capture margin at the
+	// receiver (internal/fleet deployments only).
+	CrossCollided
 )
 
 // String names the outcome.
@@ -55,6 +58,8 @@ func (o Outcome) String() string {
 		return "unsupported"
 	case LostDownlink:
 		return "lost-downlink"
+	case CrossCollided:
+		return "cross-collided"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -144,9 +149,10 @@ type Result struct {
 	EnergyRounds int
 }
 
-// packetBits returns (productive, tag) bits carried by one packet of
-// protocol p with the given on-air duration under mode m.
-func packetBits(p radio.Protocol, dur time.Duration, m overlay.Mode) (int, int) {
+// PacketBits returns (productive, tag) bits carried by one packet of
+// protocol p with the given on-air duration under mode m — the per-packet
+// overlay capacity both internal/sim and internal/fleet account with.
+func PacketBits(p radio.Protocol, dur time.Duration, m overlay.Mode) (int, int) {
 	g, ok := overlay.Gammas[p]
 	if !ok {
 		return 0, 0
@@ -189,7 +195,7 @@ func Run(cfg Config) (*Result, error) {
 	if bucketMS <= 0 {
 		bucketMS = 500
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	rng := SeedRNG(cfg.Seed, StreamDeployment)
 
 	supported := map[radio.Protocol]bool{}
 	if len(cfg.Tag.Supported) == 0 {
@@ -228,6 +234,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	events := excite.Timeline(cfg.Sources, cfg.Span, rng)
+	collided := excite.CollisionFlags(events)
 	bucketDur := time.Duration(bucketMS) * time.Millisecond
 	res := &Result{
 		Span:        cfg.Span,
@@ -276,16 +283,8 @@ func Run(cfg Config) (*Result, error) {
 		totalAwake++
 
 		outcome := func() Outcome {
-			// Collision check against neighbours in time.
-			for j := i - 1; j >= 0 && events[j].End() > e.Start; j-- {
-				if events[j].Source != e.Source {
-					return Collided
-				}
-			}
-			for j := i + 1; j < len(events) && events[j].Start < e.End(); j++ {
-				if events[j].Source != e.Source {
-					return Collided
-				}
+			if collided[i] {
+				return Collided
 			}
 			if rng.Float64() > accuracy(e.Protocol) {
 				return Misidentified
@@ -303,7 +302,7 @@ func Run(cfg Config) (*Result, error) {
 			continue
 		}
 		delivered++
-		prod, tagBits := packetBits(e.Protocol, e.Duration, mode)
+		prod, tagBits := PacketBits(e.Protocol, e.Duration, mode)
 		s.TagBits += tagBits
 		s.ProductiveBits += prod
 		b := int(e.Start / bucketDur)

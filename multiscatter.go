@@ -30,8 +30,10 @@ package multiscatter
 import (
 	"multiscatter/internal/channel"
 	"multiscatter/internal/core"
+	"multiscatter/internal/fleet"
 	"multiscatter/internal/overlay"
 	"multiscatter/internal/radio"
+	"multiscatter/internal/sim"
 	"multiscatter/internal/stats"
 	"multiscatter/internal/tag"
 )
@@ -247,3 +249,36 @@ func ChooseGamma(p Protocol, snr, targetBER float64, maxGamma int) (int, bool) {
 func NewCustomPlan(p Protocol, gamma, kappa int, productive []byte) (*Plan, error) {
 	return overlay.NewCustomPlan(p, gamma, kappa, productive)
 }
+
+// FleetConfig describes a multi-tag deployment: N tags on a floor-plan
+// grid × M excitation sources × K receivers, executed on a deterministic
+// sharded worker pool with cross-tag collision arbitration.
+type FleetConfig = fleet.Config
+
+// FleetTag places and configures one tag of a fleet.
+type FleetTag = fleet.TagSpec
+
+// FleetReceiver places one commodity receiver on the floor plan.
+type FleetReceiver = fleet.ReceiverSpec
+
+// FleetResult is the aggregated outcome of one fleet run: per-tag and
+// per-protocol accounting, fleet-throughput timeline, Jain fairness, and
+// link-cache statistics. Identical byte-for-byte for a fixed seed,
+// regardless of worker-pool size or GOMAXPROCS.
+type FleetResult = fleet.Result
+
+// FleetTagResult is one tag's aggregated outcome within a FleetResult.
+type FleetTagResult = fleet.TagResult
+
+// EnergyConfig enables harvesting-limited operation for simulated tags.
+type EnergyConfig = sim.EnergyConfig
+
+// RunFleet executes a fleet deployment.
+func RunFleet(cfg FleetConfig) (*FleetResult, error) { return fleet.Run(cfg) }
+
+// PlaceGrid places n fleet tags on a w×h-metre floor plan in a
+// near-square grid.
+func PlaceGrid(n int, w, h float64) []FleetTag { return fleet.PlaceGrid(n, w, h) }
+
+// PlaceReceivers spreads k receivers over a w×h floor plan.
+func PlaceReceivers(k int, w, h float64) []FleetReceiver { return fleet.PlaceReceivers(k, w, h) }

@@ -2,8 +2,10 @@ package multiscatter_test
 
 import (
 	"testing"
+	"time"
 
 	"multiscatter"
+	"multiscatter/internal/excite"
 )
 
 // TestPublicQuickstart exercises the README quickstart path end to end
@@ -113,5 +115,33 @@ func TestPublicPolicyAPI(t *testing.T) {
 	plan, err := multiscatter.NewCustomPlan(multiscatter.Protocol80211b, 2, 8, []byte{1})
 	if err != nil || plan.Gamma != 2 {
 		t.Fatalf("NewCustomPlan: %+v %v", plan, err)
+	}
+}
+
+func TestPublicFleetAPI(t *testing.T) {
+	tags := multiscatter.PlaceGrid(12, 10, 10)
+	if len(tags) != 12 {
+		t.Fatalf("PlaceGrid returned %d tags", len(tags))
+	}
+	src := excite.NewWiFi11nSource()
+	src.PacketRate = 200
+	res, err := multiscatter.RunFleet(multiscatter.FleetConfig{
+		Sources:   []excite.Source{src},
+		Tags:      tags,
+		Receivers: multiscatter.PlaceReceivers(1, 10, 10),
+		Span:      time.Second,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumTags != 12 || res.Events == 0 {
+		t.Fatalf("fleet result: %d tags, %d events", res.NumTags, res.Events)
+	}
+	if res.Fairness <= 0 || res.Fairness > 1 {
+		t.Fatalf("fairness out of range: %v", res.Fairness)
+	}
+	if len(res.Markdown()) == 0 {
+		t.Fatal("empty markdown report")
 	}
 }
