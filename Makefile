@@ -1,12 +1,13 @@
 # multiscatter — build/verify entry points.
 #
-#   make check   build + vet + race-enabled tests (the full gate)
-#   make test    plain test run (what CI tier-1 executes)
-#   make bench   fleet benchmarks at workers=1 and workers=NumCPU
+#   make check        build + vet + race-enabled tests + replay-diff (the full gate)
+#   make test         plain test run (what CI tier-1 executes)
+#   make replay-diff  golden-trace determinism gate (serial vs parallel fleet)
+#   make bench        fleet benchmarks at workers=1 and workers=NumCPU
 
 GO ?= go
 
-.PHONY: all build vet test race check bench
+.PHONY: all build vet test race check replay-diff bench
 
 all: check
 
@@ -22,7 +23,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+# Replays the canonical shadowing-enabled deployment and diffs it against
+# the committed golden trace (internal/replay/testdata). Fails on any
+# drift, including serial-vs-parallel divergence. Regenerate deliberately
+# with `go test ./internal/replay -run Golden -update`.
+replay-diff:
+	$(GO) test -run TestGoldenTrace -count=1 ./internal/replay
+
+check: build vet race replay-diff
 
 bench:
 	$(GO) test -run - -bench 'BenchmarkFleet' -benchtime 1x -benchmem ./

@@ -7,8 +7,9 @@
 // Usage:
 //
 //	msfleet [-scenario office] [-tags 50] [-floor 30x50] [-receivers 2]
-//	        [-span 10s] [-seed 1] [-workers 0] [-capture 10]
+//	        [-span 10s] [-seed 1] [-workers 0] [-capture 10] [-shadow 0]
 //	        [-lux 0] [-top 5] [-json fleet.json]
+//	        [-journal run.journal] [-replay golden.journal]
 package main
 
 import (
@@ -20,8 +21,10 @@ import (
 	"strings"
 	"time"
 
+	"multiscatter/internal/channel"
 	"multiscatter/internal/excite"
 	"multiscatter/internal/fleet"
+	"multiscatter/internal/replay"
 	"multiscatter/internal/sim"
 )
 
@@ -38,6 +41,9 @@ var (
 	lux       = flag.Float64("lux", 0, "light level for energy-harvesting tags (0 = unlimited power)")
 	top       = flag.Int("top", 5, "show the N highest-rate tags (0 disables)")
 	jsonPath  = flag.String("json", "", "also write the full result as JSON to this path ('-' for stdout)")
+	journal   = flag.String("journal", "", "write the run's replay journal to this path")
+	replayRef = flag.String("replay", "", "diff the run against a recorded journal; exit 1 on drift")
+	shadow    = flag.Float64("shadow", 0, "log-normal shadowing σ in dB (0 disables)")
 )
 
 func main() {
@@ -70,6 +76,11 @@ func main() {
 		Seed:      *seed,
 		Workers:   *workers,
 		CaptureDB: *capture,
+	}
+	if *shadow > 0 {
+		ch := channel.NewLoS()
+		ch.ShadowSigmaDB = *shadow
+		cfg.Channel = ch
 	}
 
 	res, err := fleet.Run(cfg)
@@ -105,6 +116,30 @@ func main() {
 		} else {
 			fmt.Printf("\nwrote %s\n", *jsonPath)
 		}
+	}
+
+	j := replay.FromFleet(*seed, res)
+	if *journal != "" {
+		if err := j.WriteFile(*journal); err != nil {
+			fmt.Fprintln(os.Stderr, "msfleet:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote replay journal %s (%d entries)\n", *journal, len(j.Entries))
+	}
+	if *replayRef != "" {
+		drift, err := replay.DiffFile(*replayRef, j)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "msfleet:", err)
+			os.Exit(1)
+		}
+		if len(drift) > 0 {
+			fmt.Fprintf(os.Stderr, "msfleet: replay drift against %s:\n", *replayRef)
+			for _, d := range drift {
+				fmt.Fprintln(os.Stderr, "  "+d)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("\nreplay matches %s\n", *replayRef)
 	}
 }
 

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	mssim [-span 10s] [-distance 2] [-lux 0] [-single 11n]
-//	      [-wifi 2000] [-ble 34] [-zigbee 20] [-duty 0]
+//	      [-wifi 2000] [-ble 34] [-zigbee 20] [-duty 0] [-shadow 0]
+//	      [-journal run.journal] [-replay golden.journal]
 package main
 
 import (
@@ -16,22 +17,27 @@ import (
 	"strings"
 	"time"
 
+	"multiscatter/internal/channel"
 	"multiscatter/internal/excite"
 	"multiscatter/internal/radio"
+	"multiscatter/internal/replay"
 	"multiscatter/internal/sim"
 )
 
 var (
-	span     = flag.Duration("span", 10*time.Second, "simulated time span")
-	distance = flag.Float64("distance", 2, "tag→receiver distance (m)")
-	lux      = flag.Float64("lux", 0, "light level for energy harvesting (0 = unlimited power)")
-	single   = flag.String("single", "", "restrict the tag to one protocol (11b, 11n, ble, zigbee)")
-	wifiRate = flag.Float64("wifi", 2000, "802.11n packet rate (pkt/s, 0 disables)")
-	bleRate  = flag.Float64("ble", 34, "BLE packet rate (pkt/s, 0 disables)")
-	zigRate  = flag.Float64("zigbee", 20, "ZigBee packet rate (pkt/s, 0 disables)")
-	duty     = flag.Float64("duty", 0, "duty-cycle every source with this on-fraction (0 = always on)")
-	scenario = flag.String("scenario", "", "use a named excitation scenario (home, office, cafe, warehouse) instead of the rate flags")
-	seed     = flag.Int64("seed", 1, "random seed")
+	span      = flag.Duration("span", 10*time.Second, "simulated time span")
+	distance  = flag.Float64("distance", 2, "tag→receiver distance (m)")
+	lux       = flag.Float64("lux", 0, "light level for energy harvesting (0 = unlimited power)")
+	single    = flag.String("single", "", "restrict the tag to one protocol (11b, 11n, ble, zigbee)")
+	wifiRate  = flag.Float64("wifi", 2000, "802.11n packet rate (pkt/s, 0 disables)")
+	bleRate   = flag.Float64("ble", 34, "BLE packet rate (pkt/s, 0 disables)")
+	zigRate   = flag.Float64("zigbee", 20, "ZigBee packet rate (pkt/s, 0 disables)")
+	duty      = flag.Float64("duty", 0, "duty-cycle every source with this on-fraction (0 = always on)")
+	scenario  = flag.String("scenario", "", "use a named excitation scenario (home, office, cafe, warehouse) instead of the rate flags")
+	seed      = flag.Int64("seed", 1, "random seed")
+	shadow    = flag.Float64("shadow", 0, "log-normal shadowing σ in dB (0 disables)")
+	journal   = flag.String("journal", "", "write the run's replay journal to this path")
+	replayRef = flag.String("replay", "", "diff the run against a recorded journal; exit 1 on drift")
 )
 
 func main() {
@@ -70,6 +76,11 @@ func main() {
 		ReceiverDistanceM: *distance,
 		Span:              *span,
 		Seed:              *seed,
+	}
+	if *shadow > 0 {
+		ch := channel.NewLoS()
+		ch.ShadowSigmaDB = *shadow
+		cfg.Channel = ch
 	}
 	if *lux > 0 {
 		cfg.Energy = &sim.EnergyConfig{Lux: *lux, StartCharged: true}
@@ -126,6 +137,30 @@ func main() {
 			sb.WriteRune(marks[idx])
 		}
 		fmt.Printf("  |%s|\n", sb.String())
+	}
+
+	j := replay.FromSim(*seed, res)
+	if *journal != "" {
+		if err := j.WriteFile(*journal); err != nil {
+			fmt.Fprintln(os.Stderr, "mssim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote replay journal %s (%d entries)\n", *journal, len(j.Entries))
+	}
+	if *replayRef != "" {
+		drift, err := replay.DiffFile(*replayRef, j)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mssim:", err)
+			os.Exit(1)
+		}
+		if len(drift) > 0 {
+			fmt.Fprintf(os.Stderr, "mssim: replay drift against %s:\n", *replayRef)
+			for _, d := range drift {
+				fmt.Fprintln(os.Stderr, "  "+d)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("replay matches %s\n", *replayRef)
 	}
 }
 

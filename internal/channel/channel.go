@@ -57,7 +57,11 @@ func (m Material) String() string {
 	}
 }
 
-// Model is a log-distance path-loss channel.
+// Model is a log-distance path-loss channel. It holds no RNG state:
+// PathLossDB is the deterministic mean loss, and shadowing draws are made
+// explicitly through ShadowDB / ShadowedPathLossDB with a caller-supplied
+// RNG, so concurrent consumers (fleet shards, cache fills) can each hold
+// an independent, replayable stream instead of racing on shared state.
 type Model struct {
 	// RefLossDB is the path loss at 1 m. Free space at 2.4 GHz is
 	// 20·log10(4π·1m/λ) ≈ 40.05 dB.
@@ -69,8 +73,6 @@ type Model struct {
 	// ShadowSigmaDB is the standard deviation of log-normal shadowing;
 	// zero disables it.
 	ShadowSigmaDB float64
-	// Rand supplies shadowing randomness; nil uses a fixed subsequence.
-	Rand *rand.Rand
 }
 
 // NewLoS returns the line-of-sight hallway channel of Figure 13.
@@ -84,17 +86,31 @@ func NewNLoS() *Model {
 	return &Model{RefLossDB: 40.05, Exponent: 2.0, Wall: Drywall}
 }
 
-// PathLossDB returns the path loss over distance d in metres. Distances
-// below 0.1 m are clamped to avoid near-field singularities.
+// PathLossDB returns the mean (unshadowed) path loss over distance d in
+// metres. Distances below 0.1 m are clamped to avoid near-field
+// singularities.
 func (m *Model) PathLossDB(d float64) float64 {
 	if d < 0.1 {
 		d = 0.1
 	}
-	loss := m.RefLossDB + 10*m.Exponent*math.Log10(d) + m.Wall.LossDB()
-	if m.ShadowSigmaDB > 0 && m.Rand != nil {
-		loss += m.Rand.NormFloat64() * m.ShadowSigmaDB
+	return m.RefLossDB + 10*m.Exponent*math.Log10(d) + m.Wall.LossDB()
+}
+
+// ShadowDB draws one log-normal shadowing sample (extra loss in dB, may
+// be negative) from rng. It returns 0 — and consumes nothing from rng —
+// when shadowing is disabled (ShadowSigmaDB ≤ 0) or rng is nil, so
+// shadow-free models never perturb a shared stream.
+func (m *Model) ShadowDB(rng *rand.Rand) float64 {
+	if m.ShadowSigmaDB <= 0 || rng == nil {
+		return 0
 	}
-	return loss
+	return rng.NormFloat64() * m.ShadowSigmaDB
+}
+
+// ShadowedPathLossDB returns the path loss over distance d with one
+// shadowing sample drawn from rng added.
+func (m *Model) ShadowedPathLossDB(d float64, rng *rand.Rand) float64 {
+	return m.PathLossDB(d) + m.ShadowDB(rng)
 }
 
 // Received returns the received power in dBm for a transmit power txDBm
@@ -121,11 +137,18 @@ func NewBackscatterLink(m *Model) *BackscatterLink {
 	return &BackscatterLink{Forward: m, Backward: m, TagLossDB: 8}
 }
 
-// RSSI returns the backscatter signal strength at the receiver for an
-// excitation of txDBm, tag at dFwd metres from the exciter and receiver
-// at dBack metres from the tag.
+// RSSI returns the mean backscatter signal strength at the receiver for
+// an excitation of txDBm, tag at dFwd metres from the exciter and
+// receiver at dBack metres from the tag.
 func (l *BackscatterLink) RSSI(txDBm, dFwd, dBack float64) float64 {
 	return txDBm - l.Forward.PathLossDB(dFwd) - l.TagLossDB - l.Backward.PathLossDB(dBack)
+}
+
+// ShadowDB draws the link's total shadowing loss: one independent sample
+// per segment (forward then backward), in that fixed order, so a given
+// rng state always yields the same draw.
+func (l *BackscatterLink) ShadowDB(rng *rand.Rand) float64 {
+	return l.Forward.ShadowDB(rng) + l.Backward.ShadowDB(rng)
 }
 
 // TagInputDBm returns the excitation power arriving at the tag — the

@@ -60,20 +60,51 @@ func TestMaterialOrdering(t *testing.T) {
 }
 
 func TestShadowing(t *testing.T) {
-	m := &Model{RefLossDB: 40, Exponent: 2, ShadowSigmaDB: 4, Rand: rand.New(rand.NewSource(1))}
+	m := &Model{RefLossDB: 40, Exponent: 2, ShadowSigmaDB: 4}
+	rng := rand.New(rand.NewSource(1))
 	// Shadowed losses vary; their std dev should be near 4 dB.
 	var vals []float64
 	for i := 0; i < 2000; i++ {
-		vals = append(vals, m.PathLossDB(10))
+		vals = append(vals, m.ShadowedPathLossDB(10, rng))
 	}
 	sd := dsp.StdDevFloat(vals)
 	if sd < 3.5 || sd > 4.5 {
 		t.Fatalf("shadowing σ = %v, want ≈4", sd)
 	}
-	// Nil Rand disables shadowing even with σ set.
-	m2 := &Model{RefLossDB: 40, Exponent: 2, ShadowSigmaDB: 4}
-	if m2.PathLossDB(10) != m2.PathLossDB(10) || m2.PathLossDB(10) != 60 {
-		t.Fatal("nil Rand should be deterministic")
+	// PathLossDB itself is the deterministic mean, and a nil rng disables
+	// shadowing even with σ set.
+	if m.PathLossDB(10) != 60 || m.ShadowedPathLossDB(10, nil) != 60 {
+		t.Fatal("mean path should be deterministic")
+	}
+	// A shadow-free model must not consume from the stream.
+	flat := &Model{RefLossDB: 40, Exponent: 2}
+	r1, r2 := rand.New(rand.NewSource(2)), rand.New(rand.NewSource(2))
+	flat.ShadowedPathLossDB(5, r1)
+	if r1.Int63() != r2.Int63() {
+		t.Fatal("σ=0 draw perturbed the rng")
+	}
+}
+
+func TestShadowingReplayable(t *testing.T) {
+	// Two identically configured models fed identically seeded rngs must
+	// produce identical shadowed loss sequences — the contract the fleet
+	// replay harness rests on.
+	a := &Model{RefLossDB: 40.05, Exponent: 2, ShadowSigmaDB: 6}
+	b := &Model{RefLossDB: 40.05, Exponent: 2, ShadowSigmaDB: 6}
+	ra, rb := rand.New(rand.NewSource(42)), rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		d := 0.5 + float64(i)*0.1
+		la, lb := a.ShadowedPathLossDB(d, ra), b.ShadowedPathLossDB(d, rb)
+		if la != lb {
+			t.Fatalf("sequence diverged at draw %d: %v != %v", i, la, lb)
+		}
+	}
+	// The dyadic link draws forward then backward, deterministically.
+	la, lb := NewBackscatterLink(a), NewBackscatterLink(b)
+	for i := 0; i < 100; i++ {
+		if la.ShadowDB(ra) != lb.ShadowDB(rb) {
+			t.Fatalf("link shadow diverged at draw %d", i)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ package core
 
 import (
 	"math"
+	"math/rand"
 
 	"multiscatter/internal/channel"
 	"multiscatter/internal/dsp"
@@ -82,49 +83,89 @@ func NewLink(p radio.Protocol, m *channel.Model) *Link {
 	}
 }
 
-// RSSI returns the backscatter signal strength at receiver distance d
-// (metres from the tag), with the paper's fixed TX power and tag
+// RSSI returns the mean backscatter signal strength at receiver distance
+// d (metres from the tag), with the paper's fixed TX power and tag
 // placement.
 func (l *Link) RSSI(d float64) float64 {
-	return l.Budget.RSSI(TxPowerDBm, TagDistanceM, d)
+	return l.RSSIAt(d, 0)
+}
+
+// ShadowDB draws the link's shadowing loss (forward then backward
+// segment, one sample each) from rng — zero, consuming nothing, when the
+// channel has no shadowing. The returned offset parameterizes the *At
+// method family, so one draw fixes a consistent working point (RSSI,
+// range, BER, PER all see the same fade) instead of each metric fading
+// independently.
+func (l *Link) ShadowDB(rng *rand.Rand) float64 {
+	return l.Budget.ShadowDB(rng)
+}
+
+// RSSIAt is RSSI with a fixed shadowing loss of shadowDB applied.
+func (l *Link) RSSIAt(d, shadowDB float64) float64 {
+	return l.Budget.RSSI(TxPowerDBm, TagDistanceM, d) - shadowDB
 }
 
 // DecisionSNR returns the effective per-symbol decision SNR (linear) at
 // distance d.
 func (l *Link) DecisionSNR(d float64) float64 {
-	db := l.RSSI(d) - l.Receiver.SensitivityDBm + l.Receiver.EdgeSNRdB
+	return l.DecisionSNRAt(d, 0)
+}
+
+// DecisionSNRAt is DecisionSNR under a fixed shadowing loss.
+func (l *Link) DecisionSNRAt(d, shadowDB float64) float64 {
+	db := l.RSSIAt(d, shadowDB) - l.Receiver.SensitivityDBm + l.Receiver.EdgeSNRdB
 	return dsp.FromDB10(db)
 }
 
 // InRange reports whether backscattered packets still synchronize at
 // distance d.
 func (l *Link) InRange(d float64) bool {
-	return l.RSSI(d) >= l.Receiver.SensitivityDBm
+	return l.InRangeAt(d, 0)
+}
+
+// InRangeAt is InRange under a fixed shadowing loss.
+func (l *Link) InRangeAt(d, shadowDB float64) bool {
+	return l.RSSIAt(d, shadowDB) >= l.Receiver.SensitivityDBm
 }
 
 // TagBER returns the tag-data bit error rate at distance d.
 func (l *Link) TagBER(d float64) float64 {
-	if !l.InRange(d) {
+	return l.TagBERAt(d, 0)
+}
+
+// TagBERAt is TagBER under a fixed shadowing loss.
+func (l *Link) TagBERAt(d, shadowDB float64) float64 {
+	if !l.InRangeAt(d, shadowDB) {
 		return 0.5
 	}
-	return overlay.TagBERForSNR(l.Protocol, l.DecisionSNR(d))
+	return overlay.TagBERForSNR(l.Protocol, l.DecisionSNRAt(d, shadowDB))
 }
 
 // ProductiveBER returns the productive-data bit error rate at distance d
 // (the reference units see the same decision SNR without the tag's
 // modulation loss, modelled as a 1 dB advantage).
 func (l *Link) ProductiveBER(d float64) float64 {
-	if !l.InRange(d) {
+	return l.ProductiveBERAt(d, 0)
+}
+
+// ProductiveBERAt is ProductiveBER under a fixed shadowing loss.
+func (l *Link) ProductiveBERAt(d, shadowDB float64) float64 {
+	if !l.InRangeAt(d, shadowDB) {
 		return 0.5
 	}
-	snr := l.DecisionSNR(d) * dsp.FromDB10(1)
+	snr := l.DecisionSNRAt(d, shadowDB) * dsp.FromDB10(1)
 	return overlay.TagBERForSNR(l.Protocol, snr)
 }
 
 // PERs returns the packet error rates for productive and tag data at
 // distance d under the given traffic and mode.
 func (l *Link) PERs(d float64, m overlay.Mode, tr overlay.Traffic) (perProd, perTag float64) {
-	if !l.InRange(d) {
+	return l.PERsAt(d, 0, m, tr)
+}
+
+// PERsAt is PERs under a fixed shadowing loss.
+func (l *Link) PERsAt(d, shadowDB float64, m overlay.Mode, tr overlay.Traffic) (perProd, perTag float64) {
+	if !l.InRangeAt(d, shadowDB) {
 		return 1, 1
 	}
 	g := overlay.Gammas[l.Protocol]
@@ -136,8 +177,8 @@ func (l *Link) PERs(d float64, m overlay.Mode, tr overlay.Traffic) (perProd, per
 	}
 	prodBits := seqs
 	tagBits := seqs * (k/g - 1)
-	perProd = dsp.PacketErrorRate(l.ProductiveBER(d), prodBits)
-	perTag = dsp.PacketErrorRate(l.TagBER(d), tagBits)
+	perProd = dsp.PacketErrorRate(l.ProductiveBERAt(d, shadowDB), prodBits)
+	perTag = dsp.PacketErrorRate(l.TagBERAt(d, shadowDB), tagBits)
 	return perProd, perTag
 }
 

@@ -46,15 +46,17 @@ func BERDBPSK(ebn0 float64) float64 {
 	return 0.5 * math.Exp(-ebn0)
 }
 
-// BERDQPSK returns an accurate approximation for differentially detected
-// QPSK (802.11b 2 Mbps) based on the standard union bound
-// ≈ Q(sqrt(1.1716*EbN0)) scaled for the differential penalty.
+// BERDQPSK returns the standard approximation for differentially
+// detected QPSK (802.11b 2 Mbps): Q(sqrt(2(2−√2)·EbN0)) ≈
+// Q(sqrt(1.1716·EbN0)), i.e. a 10·log10(2/1.1716) ≈ 2.32 dB
+// differential-detection penalty relative to coherent QPSK's
+// Q(sqrt(2·EbN0)). (An earlier revision applied an ad-hoc 2 dB penalty,
+// Q(sqrt(2·EbN0/10^0.2)), understating the BER across the waterfall.)
 func BERDQPSK(ebn0 float64) float64 {
 	if ebn0 <= 0 {
 		return 0.5
 	}
-	// 2-dB differential-detection penalty relative to coherent QPSK.
-	return Q(math.Sqrt(2 * ebn0 / FromDB10(2)))
+	return Q(math.Sqrt(2 * (2 - math.Sqrt2) * ebn0))
 }
 
 // BERQPSK returns the bit error rate of coherent Gray-coded QPSK, identical

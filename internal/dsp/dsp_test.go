@@ -358,6 +358,32 @@ func TestQFunction(t *testing.T) {
 	}
 }
 
+func TestBERDQPSKPinned(t *testing.T) {
+	// Q(sqrt(2(2−√2)·EbN0)): the standard differential-QPSK penalty of
+	// ≈2.32 dB versus coherent QPSK. Values pinned at three Eb/N0 points
+	// so a regression in either the constant or the Q evaluation shows.
+	cases := []struct {
+		ebn0DB float64
+		want   float64
+	}{
+		{5, 2.712745712025e-02},
+		{10, 3.098701825145e-04},
+		{15, 5.761692380617e-10},
+	}
+	for _, c := range cases {
+		e := FromDB10(c.ebn0DB)
+		got := BERDQPSK(e)
+		if math.Abs(got-c.want)/c.want > 1e-9 {
+			t.Errorf("BERDQPSK(%v dB) = %.12e, want %.12e", c.ebn0DB, got, c.want)
+		}
+		// Sanity: differential detection is strictly worse than coherent
+		// QPSK at the same Eb/N0.
+		if !(got > BERQPSK(e)) {
+			t.Errorf("DQPSK at %v dB should be worse than coherent QPSK", c.ebn0DB)
+		}
+	}
+}
+
 func TestBERCurvesMonotone(t *testing.T) {
 	curves := map[string]func(float64) float64{
 		"BPSK":   BERBPSK,

@@ -6,6 +6,7 @@ package energy
 
 import (
 	"math"
+	"math/rand"
 
 	"multiscatter/internal/radio"
 )
@@ -75,6 +76,15 @@ type Harvester struct {
 	Panel *SolarPanel
 	// LoadW is the system draw while active (the prototype's 279.5 mW).
 	LoadW float64
+	// JitterPct adds multiplicative Gaussian noise to the harvested power
+	// each Step — relative σ, so 0.1 means ±10% 1-σ flicker. Zero (the
+	// default) keeps harvesting deterministic.
+	JitterPct float64
+	// Rand supplies the jitter draws; the simulators inject a dedicated
+	// per-tag stream (sim.StreamEnergyHarvest) so harvesting noise never
+	// interleaves with identification or shadowing streams. Nil disables
+	// jitter even when JitterPct > 0.
+	Rand *rand.Rand
 	// volts is the current capacitor voltage.
 	volts float64
 	// active reports whether the load is powered.
@@ -96,6 +106,12 @@ func (h *Harvester) Active() bool { return h.active }
 // reports whether the tag was active during the step.
 func (h *Harvester) Step(dt, lux float64) bool {
 	in := h.Panel.PowerW(lux)
+	if h.JitterPct > 0 && h.Rand != nil && in > 0 {
+		in *= 1 + h.JitterPct*h.Rand.NormFloat64()
+		if in < 0 {
+			in = 0
+		}
+	}
 	var net float64
 	if h.active {
 		net = in - h.LoadW

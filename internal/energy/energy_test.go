@@ -2,6 +2,7 @@ package energy
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"multiscatter/internal/radio"
@@ -116,6 +117,43 @@ func TestHarvesterCycle(t *testing.T) {
 	}
 	if h.Voltage() > StopVolts+0.01 {
 		t.Fatalf("voltage after shutdown = %v", h.Voltage())
+	}
+}
+
+func TestHarvesterJitter(t *testing.T) {
+	// Identically seeded jittered harvesters track each other exactly —
+	// the jitter stream is replayable.
+	a := NewHarvester(NewMP337(), 0.2795)
+	b := NewHarvester(NewMP337(), 0.2795)
+	a.JitterPct, a.Rand = 0.3, rand.New(rand.NewSource(11))
+	b.JitterPct, b.Rand = 0.3, rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		if a.Step(0.01, OutdoorLux) != b.Step(0.01, OutdoorLux) || a.Voltage() != b.Voltage() {
+			t.Fatalf("jittered harvesters diverged at step %d", i)
+		}
+	}
+	// Jitter perturbs the trajectory relative to the deterministic run…
+	c := NewHarvester(NewMP337(), 0.2795)
+	c.Step(0.01, OutdoorLux)
+	d := NewHarvester(NewMP337(), 0.2795)
+	d.JitterPct, d.Rand = 0.3, rand.New(rand.NewSource(12))
+	d.Step(0.01, OutdoorLux)
+	if c.Voltage() == d.Voltage() {
+		t.Fatal("jitter had no effect on charging")
+	}
+	// …but JitterPct without a Rand, or a Rand without JitterPct, stays
+	// deterministic (and darkness draws nothing).
+	e := NewHarvester(NewMP337(), 0.2795)
+	e.JitterPct = 0.3
+	e.Step(0.01, OutdoorLux)
+	if c2 := NewHarvester(NewMP337(), 0.2795); func() bool { c2.Step(0.01, OutdoorLux); return c2.Voltage() != e.Voltage() }() {
+		t.Fatal("nil Rand must disable jitter")
+	}
+	f := NewHarvester(NewMP337(), 0.2795)
+	f.JitterPct, f.Rand = 0.3, rand.New(rand.NewSource(13))
+	f.Step(1, 0)
+	if f.Rand.Int63() != rand.New(rand.NewSource(13)).Int63() {
+		t.Fatal("darkness must not consume jitter draws")
 	}
 }
 

@@ -48,68 +48,94 @@ type bitsEntry struct {
 	tag        int
 }
 
-// CacheStats reports calibrated-link cache effectiveness. Lookups counts
-// hot-path reads; Entries and BitsEntries count distinct working points
-// materialized. Misses counts lookups that had to fall back to computing
-// an entry under the write lock — zero when the prefill covered every
-// (tag, protocol, mode) combination, as it does for static fleets.
+// CacheStats reports calibrated-link cache effectiveness, split by entry
+// kind so hit rates are meaningful per map: LinkLookups/LinkMisses count
+// working-point (RSSI/PER) traffic, BitsLookups/BitsMisses count
+// packet-capacity traffic. Entries and BitsEntries count distinct
+// working points materialized. Misses are lookups that had to fall back
+// to computing an entry under the write lock — zero when the prefill
+// covered every combination, as it does for static fleets.
 type CacheStats struct {
 	Entries     int   `json:"entries"`
 	BitsEntries int   `json:"bits_entries"`
-	Lookups     int64 `json:"lookups"`
-	Misses      int64 `json:"misses"`
+	LinkLookups int64 `json:"link_lookups"`
+	LinkMisses  int64 `json:"link_misses"`
+	BitsLookups int64 `json:"bits_lookups"`
+	BitsMisses  int64 `json:"bits_misses"`
 }
 
 // linkCache is the calibrated-link cache shared by every shard of one
 // fleet run. It is prefilled serially from the (static) tag placements
 // before the worker pool starts, after which the hot path is lock-free
 // reads; the mutex only guards the fallback fill for keys the prefill
-// did not anticipate.
+// did not anticipate. Shadowing draws come from a per-key RNG
+// (sim.SeedRNGAt over StreamFleetShadow), so an entry is a pure function
+// of (seed, key): prefill and fallback fills produce identical entries
+// regardless of fill order or which goroutine computes them.
 type linkCache struct {
 	bucketM float64
+	seed    int64
 	links   map[radio.Protocol]*core.Link
 
 	mu      sync.RWMutex
 	entries map[linkKey]linkEntry
 	bits    map[bitsKey]bitsEntry
 
-	lookups atomic.Int64
-	misses  atomic.Int64
+	linkLookups atomic.Int64
+	linkMisses  atomic.Int64
+	bitsLookups atomic.Int64
+	bitsMisses  atomic.Int64
 }
 
-func newLinkCache(ch *channel.Model, bucketM float64) *linkCache {
+func newLinkCache(ch *channel.Model, bucketM float64, seed int64) *linkCache {
 	links := make(map[radio.Protocol]*core.Link, len(radio.Protocols))
 	for _, p := range radio.Protocols {
 		links[p] = core.NewLink(p, ch)
 	}
 	return &linkCache{
 		bucketM: bucketM,
+		seed:    seed,
 		links:   links,
 		entries: map[linkKey]linkEntry{},
 		bits:    map[bitsKey]bitsEntry{},
 	}
 }
 
-// bucketOf quantizes a distance to the cache resolution.
+// bucketOf quantizes a distance to the cache resolution. Bucket 0 covers
+// tags co-located with their receiver (d < bucketM/2).
 func (c *linkCache) bucketOf(d float64) int {
 	b := int(d/c.bucketM + 0.5)
-	if b < 1 {
-		b = 1
+	if b < 0 {
+		b = 0
 	}
 	return b
 }
 
-// distanceOf returns the representative distance of a bucket.
+// distanceOf returns the representative distance of a bucket, floored at
+// 0.1 m to match Model.PathLossDB's near-field clamp — so bucket 0 is
+// evaluated at the clamp distance instead of overstating path loss at a
+// full bucket width.
 func (c *linkCache) distanceOf(bucket int) float64 {
-	return float64(bucket) * c.bucketM
+	d := float64(bucket) * c.bucketM
+	if d < 0.1 {
+		d = 0.1
+	}
+	return d
+}
+
+// site folds a link key into the SeedRNGAt site word. Mode and protocol
+// are tiny enums; the bucket gets the remaining bits.
+func (k linkKey) site() uint64 {
+	return uint64(k.bucket)<<16 | uint64(k.mode)<<8 | uint64(k.protocol)
 }
 
 func (c *linkCache) compute(k linkKey) linkEntry {
 	l := c.links[k.protocol]
 	d := c.distanceOf(k.bucket)
-	e := linkEntry{RSSIdBm: l.RSSI(d), InRange: l.InRange(d)}
+	shadow := l.ShadowDB(sim.SeedRNGAt(c.seed, sim.StreamFleetShadow, k.site()))
+	e := linkEntry{RSSIdBm: l.RSSIAt(d, shadow), InRange: l.InRangeAt(d, shadow)}
 	if e.InRange {
-		_, e.PERTag = l.PERs(d, k.mode, overlay.DefaultTraffic(k.protocol))
+		_, e.PERTag = l.PERsAt(d, shadow, k.mode, overlay.DefaultTraffic(k.protocol))
 	} else {
 		e.PERTag = 1
 	}
@@ -137,7 +163,7 @@ func (c *linkCache) fillBits(p radio.Protocol, dur time.Duration, mode overlay.M
 // link returns the cached working point, computing it under the write
 // lock on a prefill miss.
 func (c *linkCache) link(p radio.Protocol, bucket int, mode overlay.Mode) linkEntry {
-	c.lookups.Add(1)
+	c.linkLookups.Add(1)
 	k := linkKey{p, bucket, mode}
 	c.mu.RLock()
 	e, ok := c.entries[k]
@@ -145,7 +171,7 @@ func (c *linkCache) link(p radio.Protocol, bucket int, mode overlay.Mode) linkEn
 	if ok {
 		return e
 	}
-	c.misses.Add(1)
+	c.linkMisses.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok = c.entries[k]; ok {
@@ -156,9 +182,25 @@ func (c *linkCache) link(p radio.Protocol, bucket int, mode overlay.Mode) linkEn
 	return e
 }
 
+// peek returns the working point for (p, bucket, mode) without touching
+// the effectiveness counters — used for report generation after the run,
+// so the reported hit rate reflects hot-path traffic only. An uncached
+// key is computed on the fly (deterministically, from the per-key shadow
+// stream) and not stored.
+func (c *linkCache) peek(p radio.Protocol, bucket int, mode overlay.Mode) linkEntry {
+	k := linkKey{p, bucket, mode}
+	c.mu.RLock()
+	e, ok := c.entries[k]
+	c.mu.RUnlock()
+	if ok {
+		return e
+	}
+	return c.compute(k)
+}
+
 // packetBits returns the cached overlay capacity of one packet.
 func (c *linkCache) packetBits(p radio.Protocol, dur time.Duration, mode overlay.Mode) (int, int) {
-	c.lookups.Add(1)
+	c.bitsLookups.Add(1)
 	k := bitsKey{p, dur, mode}
 	c.mu.RLock()
 	e, ok := c.bits[k]
@@ -166,7 +208,7 @@ func (c *linkCache) packetBits(p radio.Protocol, dur time.Duration, mode overlay
 	if ok {
 		return e.productive, e.tag
 	}
-	c.misses.Add(1)
+	c.bitsMisses.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok = c.bits[k]; ok {
@@ -184,7 +226,9 @@ func (c *linkCache) stats() CacheStats {
 	return CacheStats{
 		Entries:     len(c.entries),
 		BitsEntries: len(c.bits),
-		Lookups:     c.lookups.Load(),
-		Misses:      c.misses.Load(),
+		LinkLookups: c.linkLookups.Load(),
+		LinkMisses:  c.linkMisses.Load(),
+		BitsLookups: c.bitsLookups.Load(),
+		BitsMisses:  c.bitsMisses.Load(),
 	}
 }

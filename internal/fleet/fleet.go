@@ -2,9 +2,12 @@
 // internal/sim to production-shaped workloads: N backscatter tags placed
 // on a floor-plan grid, M excitation sources feeding one shared packet
 // timeline, and K receivers, executed as one deployment. Work is sharded
-// over a GOMAXPROCS-sized worker pool with deterministic parallel RNG
-// (per-shard seed = Config.Seed + shardID), so a fleet run reproduces
-// byte-for-byte regardless of scheduling or GOMAXPROCS. Cross-tag
+// over a GOMAXPROCS-sized worker pool with deterministic parallel RNG:
+// per-shard streams for identification and downlink draws (seed =
+// Config.Seed + shardID), per-site streams for channel shadowing (keyed
+// by cache entry) and harvest jitter (keyed by tag ID) — so a fleet run,
+// shadowing included, reproduces byte-for-byte regardless of scheduling
+// or GOMAXPROCS. Cross-tag
 // collision accounting models the interference of two tags backscattering
 // the same excitation packet at the same receiver, resolved by a capture
 // margin; a calibrated-link cache keyed by (protocol, distance bucket,
@@ -78,7 +81,10 @@ type Config struct {
 	BucketMS int
 	// Seed for reproducibility. The excitation timeline draws from
 	// sim.SeedRNG(Seed, StreamFleetTimeline); shard s draws from
-	// sim.SeedRNG(Seed+s, StreamFleetShard/StreamFleetDownlink).
+	// sim.SeedRNG(Seed+s, StreamFleetShard/StreamFleetDownlink);
+	// link shadowing draws from sim.SeedRNGAt(Seed, StreamFleetShadow,
+	// cacheKey) and harvest jitter from sim.SeedRNGAt(Seed,
+	// StreamEnergyHarvest, tagID).
 	Seed int64
 	// Workers sizes the worker pool (default runtime.GOMAXPROCS(0)).
 	// The result is identical for every value.
@@ -215,7 +221,7 @@ func Run(cfg Config) (*Result, error) {
 	numBuckets := int(cfg.Span/bucketDur) + 1
 
 	// Per-tag state: receiver assignment, link-cache bucket, profile.
-	cache := newLinkCache(cfg.Channel, cfg.DistanceBucketM)
+	cache := newLinkCache(cfg.Channel, cfg.DistanceBucketM, cfg.Seed)
 	tags := make([]*tagRun, len(cfg.Tags))
 	modes := map[overlay.Mode]bool{}
 	for i, spec := range cfg.Tags {
@@ -294,6 +300,12 @@ func Run(cfg Config) (*Result, error) {
 					load = 0.2795
 				}
 				harvester = energy.NewHarvester(energy.NewMP337(), load)
+				if ec.HarvestJitterPct > 0 {
+					// Keyed by tag ID, not shard, so the jitter stream
+					// survives any change to the shard partition.
+					harvester.JitterPct = ec.HarvestJitterPct
+					harvester.Rand = sim.SeedRNGAt(cfg.Seed, sim.StreamEnergyHarvest, uint64(t.id))
+				}
 				lux = ec.Lux
 				if ec.StartCharged {
 					for !harvester.Step(0.05, 1e9) {

@@ -114,6 +114,69 @@ func TestFleetDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+func TestFleetShadowingDeterministicAcrossWorkers(t *testing.T) {
+	// The regression this PR fixes: with log-normal shadowing enabled,
+	// the old shared channel.Model RNG made results depend on cache-fill
+	// order (goroutine scheduling). Per-site shadow streams must make a
+	// shadowing-enabled run byte-identical at workers=1/GOMAXPROCS=1 and
+	// an oversubscribed parallel pool.
+	cfg := Config{
+		Sources:   []excite.Source{wifiSource(300), excite.NewBLEAdvSource(), excite.NewZigBeeSource()},
+		Tags:      PlaceGrid(48, 30, 50),
+		Receivers: PlaceReceivers(3, 30, 50),
+		Channel:   &channel.Model{RefLossDB: 40.05, Exponent: 2.0, ShadowSigmaDB: 6},
+		Span:      2 * time.Second,
+		Seed:      21,
+	}
+	cfg.Tags[2].Energy = &sim.EnergyConfig{Lux: 1.04e5, StartCharged: true, HarvestJitterPct: 0.2}
+	cfg.Tags[7].Supported = []radio.Protocol{radio.ProtocolZigBee}
+
+	prev := runtime.GOMAXPROCS(1)
+	cfg.Workers = 1
+	serial, err := Run(cfg)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GOMAXPROCS(runtime.NumCPU())
+	defer runtime.GOMAXPROCS(prev)
+	cfg.Workers = runtime.NumCPU() * 2
+	parallel, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, _ := json.Marshal(serial)
+	pj, _ := json.Marshal(parallel)
+	if string(sj) != string(pj) {
+		t.Fatal("shadowing-enabled fleet result differs across pool sizes")
+	}
+
+	// Shadowing must actually be in effect: the same deployment without
+	// it lands at a different working point.
+	cfg.Channel = &channel.Model{RefLossDB: 40.05, Exponent: 2.0}
+	cfg.Workers = 0
+	flat, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj, _ := json.Marshal(flat)
+	if string(fj) == string(sj) {
+		t.Fatal("σ=6 dB shadowing changed nothing")
+	}
+
+	// And replaying the same seed reproduces the shadowed run exactly.
+	cfg.Channel = &channel.Model{RefLossDB: 40.05, Exponent: 2.0, ShadowSigmaDB: 6}
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(again)
+	if string(aj) != string(sj) {
+		t.Fatal("same-seed shadowed replay diverged")
+	}
+}
+
 func TestCrossTagCollisionSamePosition(t *testing.T) {
 	// Two co-located tags respond to every packet with identical RSSI:
 	// neither clears the capture margin, so nothing is delivered.
@@ -212,11 +275,17 @@ func TestLinkCachePrefilled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Cache.Misses != 0 {
-		t.Fatalf("static fleet should be fully prefilled, got %d misses", res.Cache.Misses)
+	if res.Cache.LinkMisses != 0 || res.Cache.BitsMisses != 0 {
+		t.Fatalf("static fleet should be fully prefilled, got %d/%d misses", res.Cache.LinkMisses, res.Cache.BitsMisses)
 	}
-	if res.Cache.Entries == 0 || res.Cache.BitsEntries == 0 || res.Cache.Lookups == 0 {
+	if res.Cache.Entries == 0 || res.Cache.BitsEntries == 0 ||
+		res.Cache.LinkLookups == 0 || res.Cache.BitsLookups == 0 {
 		t.Fatalf("cache unused: %+v", res.Cache)
+	}
+	// Delivered packets read both maps: bits traffic can never exceed
+	// link traffic (every delivery was preceded by a link lookup).
+	if res.Cache.BitsLookups > res.Cache.LinkLookups {
+		t.Fatalf("bits lookups %d > link lookups %d", res.Cache.BitsLookups, res.Cache.LinkLookups)
 	}
 	// 25 tags × 4 protocols is the key ceiling; bucketing collapses
 	// symmetric grid positions well below it.
@@ -226,19 +295,23 @@ func TestLinkCachePrefilled(t *testing.T) {
 }
 
 func TestLinkCacheFallbackPath(t *testing.T) {
-	c := newLinkCache(channel.NewLoS(), 0.25)
+	c := newLinkCache(channel.NewLoS(), 0.25, 1)
 	e := c.link(radio.ProtocolBLE, c.bucketOf(2), 1) // cold key → computed under lock
 	if !e.InRange {
 		t.Fatal("BLE at 2 m should be in range")
 	}
-	if got := c.stats(); got.Misses != 1 || got.Entries != 1 || got.Lookups != 1 {
+	if got := c.stats(); got.LinkMisses != 1 || got.Entries != 1 || got.LinkLookups != 1 {
 		t.Fatalf("cold lookup stats: %+v", got)
 	}
 	if again := c.link(radio.ProtocolBLE, c.bucketOf(2), 1); again != e {
 		t.Fatal("cached entry changed")
 	}
-	if got := c.stats(); got.Misses != 1 || got.Lookups != 2 {
+	if got := c.stats(); got.LinkMisses != 1 || got.LinkLookups != 2 {
 		t.Fatalf("warm lookup stats: %+v", got)
+	}
+	// Link traffic must not leak into the bits counters and vice versa.
+	if got := c.stats(); got.BitsLookups != 0 || got.BitsMisses != 0 {
+		t.Fatalf("link traffic counted as bits traffic: %+v", got)
 	}
 	// Same bucket, same entry: 2.0 m and 2.1 m share a 0.25 m bucket.
 	if c.bucketOf(2.0) != c.bucketOf(2.1) {
@@ -246,6 +319,54 @@ func TestLinkCacheFallbackPath(t *testing.T) {
 	}
 	if prod, tag := c.packetBits(radio.Protocol80211b, 2192*time.Microsecond, 1); prod != 250 || tag != 250 {
 		t.Fatalf("packetBits = %d/%d, want 250/250", prod, tag)
+	}
+	if got := c.stats(); got.BitsLookups != 1 || got.BitsMisses != 1 {
+		t.Fatalf("bits traffic not counted separately: %+v", got)
+	}
+	// peek reads the same entries without moving any counter.
+	before := c.stats()
+	if p := c.peek(radio.ProtocolBLE, c.bucketOf(2), 1); p != e {
+		t.Fatal("peek returned a different entry")
+	}
+	if c.stats() != before {
+		t.Fatal("peek perturbed the stats")
+	}
+}
+
+func TestLinkCacheZeroDistanceBucket(t *testing.T) {
+	// A tag co-located with its receiver lands in bucket 0, which must be
+	// evaluated at the 0.1 m near-field clamp — not at a full bucket
+	// width (the old clamp-to-bucket-1 behaviour overstated path loss by
+	// 10·2·log10(0.25/0.1) ≈ 8 dB at the default resolution).
+	c := newLinkCache(channel.NewLoS(), 0.25, 1)
+	if b := c.bucketOf(0); b != 0 {
+		t.Fatalf("bucketOf(0) = %d, want 0", b)
+	}
+	if d := c.distanceOf(0); d != 0.1 {
+		t.Fatalf("distanceOf(0) = %v, want 0.1", d)
+	}
+	zero := c.link(radio.Protocol80211n, c.bucketOf(0), 1)
+	one := c.link(radio.Protocol80211n, 1, 1)
+	if !zero.InRange {
+		t.Fatal("co-located tag must be in range")
+	}
+	if zero.RSSIdBm <= one.RSSIdBm {
+		t.Fatalf("bucket 0 RSSI %v should beat bucket 1 RSSI %v", zero.RSSIdBm, one.RSSIdBm)
+	}
+	// End-to-end: a tag exactly on its receiver delivers everything.
+	cfg := Config{
+		Sources:   []excite.Source{wifiSource(100)},
+		Tags:      []TagSpec{{X: 3, Y: 3, IdentAccuracy: perfectAccuracy}},
+		Receivers: []ReceiverSpec{{X: 3, Y: 3}},
+		Span:      time.Second,
+		Seed:      2,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes[sim.Delivered] != res.Events {
+		t.Fatalf("co-located tag delivered %d/%d", res.Outcomes[sim.Delivered], res.Events)
 	}
 }
 

@@ -34,8 +34,16 @@ type TagResult struct {
 	// Receiver index the tag reports to, and the distance to it.
 	Receiver  int     `json:"receiver"`
 	DistanceM float64 `json:"distance_m"`
+	// RSSIdBm is the per-protocol backscatter signal strength at the
+	// tag's receiver, shadowing included — the cached working point its
+	// downlink outcomes were decided at. Keyed by protocol name.
+	RSSIdBm map[string]float64 `json:"rssi_dbm"`
 	// Outcomes histogram over all packets the tag saw.
 	Outcomes OutcomeCounts `json:"outcomes"`
+	// PerProtocol splits Outcomes by excitation protocol (keyed by
+	// protocol name; only protocols with traffic appear) — the
+	// granularity the replay journal records.
+	PerProtocol map[string]OutcomeCounts `json:"per_protocol,omitempty"`
 	// TagBits delivered and the resulting rate.
 	TagBits int     `json:"tag_bits"`
 	TagKbps float64 `json:"tag_kbps"`
@@ -122,8 +130,13 @@ func reduce(cfg Config, receivers []ReceiverSpec, tags []*tagRun, events, excite
 			Y:            t.spec.Y,
 			Receiver:     t.rx,
 			DistanceM:    t.dist,
+			RSSIdBm:      map[string]float64{},
 			Outcomes:     OutcomeCounts{},
+			PerProtocol:  map[string]OutcomeCounts{},
 			EnergyRounds: t.energyRounds,
+		}
+		for _, p := range radio.Protocols {
+			tr.RSSIdBm[p.String()] = cache.peek(p, t.bucket, t.mode).RSSIdBm
 		}
 		for _, p := range radio.Protocols {
 			pt := &perProto[protoIdx[p]]
@@ -138,6 +151,12 @@ func reduce(cfg Config, receivers []ReceiverSpec, tags []*tagRun, events, excite
 				tr.Outcomes[sim.Outcome(o)] += n
 				pt.Outcomes[sim.Outcome(o)] += n
 				res.Outcomes[sim.Outcome(o)] += n
+				pc := tr.PerProtocol[p.String()]
+				if pc == nil {
+					pc = OutcomeCounts{}
+					tr.PerProtocol[p.String()] = pc
+				}
+				pc[sim.Outcome(o)] += n
 			}
 		}
 		tr.TagKbps = float64(tr.TagBits) / spanSec / 1e3
@@ -184,8 +203,10 @@ func (r *Result) Markdown() string {
 	fmt.Fprintf(&b, "- span: %v (%d excitation packets, %d collided on air)\n", r.Span, r.Events, r.ExciteCollided)
 	fmt.Fprintf(&b, "- fleet tag throughput: **%.1f kbps** (mean %.3f kbps/tag, Jain fairness %.3f)\n",
 		r.FleetTagKbps, r.MeanTagKbps, r.Fairness)
-	fmt.Fprintf(&b, "- link cache: %d link + %d capacity entries, %d lookups, %d misses\n\n",
-		r.Cache.Entries, r.Cache.BitsEntries, r.Cache.Lookups, r.Cache.Misses)
+	fmt.Fprintf(&b, "- link cache: %d link + %d capacity entries, link %d lookups / %d misses, bits %d lookups / %d misses\n\n",
+		r.Cache.Entries, r.Cache.BitsEntries,
+		r.Cache.LinkLookups, r.Cache.LinkMisses,
+		r.Cache.BitsLookups, r.Cache.BitsMisses)
 
 	fmt.Fprintf(&b, "| protocol | packets | delivered | cross-collided | collided | misident | tag kbps |\n")
 	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|\n")

@@ -1,0 +1,45 @@
+package replay
+
+import (
+	"time"
+
+	"multiscatter/internal/channel"
+	"multiscatter/internal/excite"
+	"multiscatter/internal/fleet"
+	"multiscatter/internal/radio"
+	"multiscatter/internal/sim"
+)
+
+// GoldenConfig returns the canonical replay deployment: a shadowing-
+// enabled (σ = 6 dB) 40-tag fleet with mixed excitation, two receivers,
+// a harvest-jittered tag and a single-protocol tag — one instance of
+// every randomness stream the engines own, so the golden trace pins all
+// of them at once. Workers is left at the default; the caller overrides
+// it to compare pool sizes.
+func GoldenConfig(seed int64) fleet.Config {
+	wifi := excite.NewWiFi11nSource()
+	wifi.PacketRate = 300
+	tags := fleet.PlaceGrid(40, 20, 30)
+	tags[4].Energy = &sim.EnergyConfig{Lux: 1.04e5, StartCharged: true, HarvestJitterPct: 0.2}
+	tags[9].Supported = []radio.Protocol{radio.ProtocolZigBee}
+	return fleet.Config{
+		Sources:   []excite.Source{wifi, excite.NewBLEAdvSource(), excite.NewZigBeeSource()},
+		Tags:      tags,
+		Receivers: fleet.PlaceReceivers(2, 20, 30),
+		Channel:   &channel.Model{RefLossDB: 40.05, Exponent: 2.0, ShadowSigmaDB: 6},
+		Span:      2 * time.Second,
+		Seed:      seed,
+	}
+}
+
+// RunGolden replays the canonical deployment for seed with the given
+// worker-pool size (0 = GOMAXPROCS) and returns its journal.
+func RunGolden(seed int64, workers int) (*Journal, error) {
+	cfg := GoldenConfig(seed)
+	cfg.Workers = workers
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return FromFleet(seed, res), nil
+}

@@ -19,6 +19,18 @@ const (
 	// StreamFleetDownlink feeds one fleet shard's downlink packet-loss
 	// draws; the shard's seed is Config.Seed + shardID.
 	StreamFleetDownlink
+	// StreamChannelShadow feeds internal/sim.Run's per-protocol link
+	// shadowing draws, taken once at setup in radio.Protocols order.
+	StreamChannelShadow
+	// StreamFleetShadow feeds internal/fleet's calibrated-link shadowing.
+	// Each cache entry derives its own RNG via SeedRNGAt keyed by the
+	// (protocol, bucket, mode) site, so prefill and fallback fills
+	// produce identical entries in any order and on any goroutine.
+	StreamFleetShadow
+	// StreamEnergyHarvest feeds harvest-power jitter. internal/sim uses
+	// site 0; internal/fleet keys the site by tag ID, so the stream is
+	// independent of the shard partition and worker count.
+	StreamEnergyHarvest
 )
 
 // SeedRNG derives a deterministic RNG for one named stream of a
@@ -29,8 +41,20 @@ const (
 // Fibonacci generator. Shared by internal/sim and internal/fleet so both
 // engines have a single documented seed path.
 func SeedRNG(seed, stream int64) *rand.Rand {
+	return SeedRNGAt(seed, stream, 0)
+}
+
+// SeedRNGAt derives a deterministic RNG for one call site of a stream:
+// site distinguishes independent consumers inside the stream (a cache
+// key, a tag ID) so each draws a sequence that is a pure function of
+// (seed, stream, site) — the foundation of shard-safe randomness, since
+// no consumption order or goroutine schedule can perturb another site.
+// Site 0 is the plain stream: SeedRNGAt(seed, stream, 0) == SeedRNG(seed,
+// stream).
+func SeedRNGAt(seed, stream int64, site uint64) *rand.Rand {
 	z := uint64(seed)
 	z ^= uint64(stream) * 0x9E3779B97F4A7C15
+	z ^= site * 0xD1B54A32D192ED03
 	z += 0x9E3779B97F4A7C15
 	z ^= z >> 30
 	z *= 0xBF58476D1CE4E5B9

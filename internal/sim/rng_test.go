@@ -38,3 +38,33 @@ func TestSeedRNGStreamsIndependent(t *testing.T) {
 		t.Fatalf("adjacent seeds look correlated: %d/100 identical draws", same)
 	}
 }
+
+func TestSeedRNGAtSites(t *testing.T) {
+	// Site 0 is the plain stream.
+	a := SeedRNG(7, StreamFleetShadow)
+	b := SeedRNGAt(7, StreamFleetShadow, 0)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("SeedRNGAt(…, 0) must equal SeedRNG")
+		}
+	}
+	// Distinct sites of one stream are independent and replayable.
+	c1 := SeedRNGAt(7, StreamFleetShadow, 1)
+	c2 := SeedRNGAt(7, StreamFleetShadow, 2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("adjacent sites look correlated: %d/100 identical draws", same)
+	}
+	r1 := SeedRNGAt(7, StreamFleetShadow, 1)
+	r2 := SeedRNGAt(7, StreamFleetShadow, 1)
+	for i := 0; i < 100; i++ {
+		if r1.Float64() != r2.Float64() {
+			t.Fatal("same site must replay identically")
+		}
+	}
+}

@@ -96,6 +96,10 @@ type EnergyConfig struct {
 	LoadW float64
 	// StartCharged starts the capacitor at the 4.1 V threshold.
 	StartCharged bool
+	// HarvestJitterPct adds multiplicative Gaussian flicker to the
+	// harvested power (relative σ per step), drawn from the dedicated
+	// StreamEnergyHarvest stream. Zero keeps harvesting deterministic.
+	HarvestJitterPct float64
 }
 
 // Config describes one simulated deployment.
@@ -147,6 +151,10 @@ type Result struct {
 	BucketDur time.Duration
 	// EnergyRounds counts harvester discharge rounds (0 when unlimited).
 	EnergyRounds int
+	// RSSIdBm is the per-protocol backscatter signal strength at the
+	// receiver, shadowing included — the working point the downlink
+	// decisions were made at.
+	RSSIdBm map[radio.Protocol]float64
 }
 
 // PacketBits returns (productive, tag) bits carried by one packet of
@@ -213,9 +221,17 @@ func Run(cfg Config) (*Result, error) {
 		}
 		return DefaultIdentAccuracy[p]
 	}
+	// One shadowing draw per protocol link, taken at setup in the fixed
+	// radio.Protocols order from a dedicated stream: the deployment is
+	// static, so each link holds one consistent fade for the whole run,
+	// and identification draws (StreamDeployment) stay untouched whether
+	// or not shadowing is enabled.
 	links := map[radio.Protocol]*core.Link{}
+	shadow := map[radio.Protocol]float64{}
+	shadowRNG := SeedRNG(cfg.Seed, StreamChannelShadow)
 	for _, p := range radio.Protocols {
 		links[p] = core.NewLink(p, ch)
+		shadow[p] = links[p].ShadowDB(shadowRNG)
 	}
 
 	var harvester *energy.Harvester
@@ -226,6 +242,10 @@ func Run(cfg Config) (*Result, error) {
 			load = 0.2795
 		}
 		harvester = energy.NewHarvester(energy.NewMP337(), load)
+		if cfg.Energy.HarvestJitterPct > 0 {
+			harvester.JitterPct = cfg.Energy.HarvestJitterPct
+			harvester.Rand = SeedRNG(cfg.Seed, StreamEnergyHarvest)
+		}
 		lux = cfg.Energy.Lux
 		if cfg.Energy.StartCharged {
 			for !harvester.Step(0.05, 1e9) {
@@ -241,6 +261,10 @@ func Run(cfg Config) (*Result, error) {
 		PerProtocol: map[radio.Protocol]*ProtocolStats{},
 		Buckets:     make([]float64, int(cfg.Span/bucketDur)+1),
 		BucketDur:   bucketDur,
+		RSSIdBm:     map[radio.Protocol]float64{},
+	}
+	for _, p := range radio.Protocols {
+		res.RSSIdBm[p] = links[p].RSSIAt(cfg.ReceiverDistanceM, shadow[p])
 	}
 	stat := func(p radio.Protocol) *ProtocolStats {
 		s := res.PerProtocol[p]
@@ -292,7 +316,7 @@ func Run(cfg Config) (*Result, error) {
 			if !supported[e.Protocol] {
 				return Unsupported
 			}
-			if !links[e.Protocol].InRange(cfg.ReceiverDistanceM) {
+			if !links[e.Protocol].InRangeAt(cfg.ReceiverDistanceM, shadow[e.Protocol]) {
 				return LostDownlink
 			}
 			return Delivered

@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
+	"multiscatter/internal/channel"
 	"multiscatter/internal/excite"
 	"multiscatter/internal/overlay"
 	"multiscatter/internal/radio"
@@ -39,6 +41,53 @@ func TestRunBasicDeployment(t *testing.T) {
 	}
 	if res.EnergyRounds != 0 {
 		t.Fatal("unlimited energy should report 0 rounds")
+	}
+}
+
+func TestRunShadowingReplayable(t *testing.T) {
+	cfg := Config{
+		Sources:           []excite.Source{wifiSource(200), excite.NewBLEAdvSource()},
+		Channel:           &channel.Model{RefLossDB: 40.05, Exponent: 2.0, ShadowSigmaDB: 6},
+		ReceiverDistanceM: 12,
+		Span:              3 * time.Second,
+		Seed:              17,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same-seed shadowed runs diverged")
+	}
+	// The shadowed working point must be reported and differ from the
+	// unshadowed one for at least one protocol (σ=6 dB at 12 m).
+	cfg.Channel = &channel.Model{RefLossDB: 40.05, Exponent: 2.0}
+	flat, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for _, p := range radio.Protocols {
+		if a.RSSIdBm[p] != flat.RSSIdBm[p] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("shadowing left every protocol's RSSI untouched")
+	}
+	// A different seed draws different fades.
+	cfg.Channel = &channel.Model{RefLossDB: 40.05, Exponent: 2.0, ShadowSigmaDB: 6}
+	cfg.Seed = 18
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.RSSIdBm, c.RSSIdBm) {
+		t.Fatal("different seeds drew identical shadow fades")
 	}
 }
 

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Full verification gate: build, vet, race-enabled tests.
-# Mirrors `make check` for environments without make.
+# Full verification gate: build, vet, race-enabled tests, golden replay
+# diff, and a short overlay fuzz smoke. Mirrors `make check` for
+# environments without make.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -10,4 +11,8 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
+echo "== replay-diff (golden trace, serial vs parallel)"
+go test -run TestGoldenTrace -count=1 ./internal/replay
+echo "== overlay fuzz smoke (5s)"
+go test -run - -fuzz FuzzPlanInvariants -fuzztime 5s ./internal/overlay
 echo "OK"
