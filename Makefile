@@ -1,13 +1,15 @@
 # multiscatter — build/verify entry points.
 #
-#   make check        build + vet + race-enabled tests + replay-diff (the full gate)
-#   make test         plain test run (what CI tier-1 executes)
-#   make replay-diff  golden-trace determinism gate (serial vs parallel fleet)
-#   make bench        fleet benchmarks at workers=1 and workers=NumCPU
+#   make check          build + vet + race-enabled tests + replay-diff + bench-compare
+#   make test           plain test run (what CI tier-1 executes)
+#   make replay-diff    golden-trace determinism gate (serial vs parallel fleet)
+#   make bench          fleet benchmarks at workers=1 and workers=NumCPU
+#   make bench-compare  msbench metrics vs committed BENCH_<date>.json baseline
+#   make obs-demo       short fleet run with the -obs endpoint up, scraped with curl
 
 GO ?= go
 
-.PHONY: all build vet test race check replay-diff bench
+.PHONY: all build vet test race check replay-diff bench bench-compare obs-demo
 
 all: check
 
@@ -30,7 +32,27 @@ race:
 replay-diff:
 	$(GO) test -run TestGoldenTrace -count=1 ./internal/replay
 
-check: build vet race replay-diff
+check: build vet race replay-diff bench-compare
 
 bench:
 	$(GO) test -run - -bench 'BenchmarkFleet' -benchtime 1x -benchmem ./
+
+# Regenerates msbench metrics and diffs them against the latest committed
+# BENCH_<date>.json; fails on >15% drops in gated (kbps/accuracy) metrics.
+# The simulator is deterministic, so the expected diff is empty. Skip in
+# check.sh with MS_SKIP_BENCH=1. Regenerate the baseline deliberately with
+# `go run ./cmd/msbench -json BENCH_$$(date +%F).json`.
+bench-compare:
+	sh scripts/bench_compare.sh
+
+# Runs a short fleet with the observability endpoint up, scrapes it, and
+# lets the run finish: a smoke test for -obs and a copy-paste example.
+obs-demo:
+	$(GO) build -o /tmp/msfleet-obs-demo ./cmd/msfleet
+	/tmp/msfleet-obs-demo -tags 30 -floor 12x12 -receivers 4 -span 5s -obs 127.0.0.1:6060 -obs-hold 4s & \
+	sleep 2.5; \
+	echo "-- curl /metrics --"; \
+	curl -s http://127.0.0.1:6060/metrics | head -40; \
+	echo "-- curl /debug/pprof/ --"; \
+	curl -s -o /dev/null -w "pprof index: %{http_code}\n" http://127.0.0.1:6060/debug/pprof/; \
+	wait

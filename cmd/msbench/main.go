@@ -10,6 +10,7 @@
 //	         fig17|fig18|downlink] [-trials N] [-seed N]
 //	msbench -markdown report.md            # full report + BENCH_<date>.json
 //	msbench -json metrics.json             # metrics only ('-' for stdout)
+//	msbench -obs :6060 -obs-hold 5s ...    # serve metrics + pprof alongside
 package main
 
 import (
@@ -30,6 +31,7 @@ import (
 	"multiscatter/internal/dsp"
 	"multiscatter/internal/energy"
 	"multiscatter/internal/fpga"
+	"multiscatter/internal/obs/obsflag"
 	"multiscatter/internal/overlay"
 	"multiscatter/internal/phy/dsss"
 	"multiscatter/internal/radio"
@@ -47,6 +49,7 @@ var (
 
 func main() {
 	flag.Parse()
+	defer obsflag.Start("msbench")()
 	if *markdown != "" || *jsonOut != "" {
 		runReport()
 		return

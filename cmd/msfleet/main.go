@@ -10,6 +10,7 @@
 //	        [-span 10s] [-seed 1] [-workers 0] [-capture 10] [-shadow 0]
 //	        [-lux 0] [-top 5] [-json fleet.json]
 //	        [-journal run.journal] [-replay golden.journal]
+//	        [-obs :6060] [-obs-hold 5s]
 package main
 
 import (
@@ -24,6 +25,8 @@ import (
 	"multiscatter/internal/channel"
 	"multiscatter/internal/excite"
 	"multiscatter/internal/fleet"
+	"multiscatter/internal/obs"
+	"multiscatter/internal/obs/obsflag"
 	"multiscatter/internal/replay"
 	"multiscatter/internal/sim"
 )
@@ -48,6 +51,7 @@ var (
 
 func main() {
 	flag.Parse()
+	defer obsflag.Start("msfleet")()
 
 	sc, err := excite.FindScenario(*scenario)
 	if err != nil {
@@ -91,6 +95,9 @@ func main() {
 
 	fmt.Printf("scenario %q: %s\n\n", sc.Name, sc.Description)
 	fmt.Print(res.Markdown())
+	if obsflag.Enabled() {
+		fmt.Printf("\n## Observability\n\n%s", obs.Default().Snapshot().Markdown())
+	}
 	if *top > 0 {
 		fmt.Printf("\n**Top %d tags by rate:**\n\n", *top)
 		fmt.Println("| tag | pos (m) | rx | dist (m) | delivered | kbps |")

@@ -8,6 +8,7 @@
 //	mssim [-span 10s] [-distance 2] [-lux 0] [-single 11n]
 //	      [-wifi 2000] [-ble 34] [-zigbee 20] [-duty 0] [-shadow 0]
 //	      [-journal run.journal] [-replay golden.journal]
+//	      [-obs :6060] [-obs-hold 5s]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"multiscatter/internal/channel"
 	"multiscatter/internal/excite"
+	"multiscatter/internal/obs/obsflag"
 	"multiscatter/internal/radio"
 	"multiscatter/internal/replay"
 	"multiscatter/internal/sim"
@@ -42,6 +44,7 @@ var (
 
 func main() {
 	flag.Parse()
+	defer obsflag.Start("mssim")()
 	var sources []excite.Source
 	add := func(s excite.Source, rate float64) {
 		if rate <= 0 {

@@ -75,6 +75,7 @@ func NewLink(p radio.Protocol, m *channel.Model) *Link {
 		fwd.Wall = channel.NoWall
 		budget.Forward = &fwd
 	}
+	obsLinksCreated.Inc()
 	return &Link{
 		Protocol: p,
 		Channel:  m,
@@ -102,6 +103,7 @@ func (l *Link) ShadowDB(rng *rand.Rand) float64 {
 
 // RSSIAt is RSSI with a fixed shadowing loss of shadowDB applied.
 func (l *Link) RSSIAt(d, shadowDB float64) float64 {
+	obsRSSIEvals.Inc()
 	return l.Budget.RSSI(TxPowerDBm, TagDistanceM, d) - shadowDB
 }
 
@@ -165,6 +167,7 @@ func (l *Link) PERs(d float64, m overlay.Mode, tr overlay.Traffic) (perProd, per
 
 // PERsAt is PERs under a fixed shadowing loss.
 func (l *Link) PERsAt(d, shadowDB float64, m overlay.Mode, tr overlay.Traffic) (perProd, perTag float64) {
+	obsPEREvals.Inc()
 	if !l.InRangeAt(d, shadowDB) {
 		return 1, 1
 	}

@@ -1,0 +1,12 @@
+package core
+
+import "multiscatter/internal/obs"
+
+// Instruments on the default registry; catalogued in
+// docs/OBSERVABILITY.md. All three count calls, so their totals are
+// deterministic for a fixed workload.
+var (
+	obsLinksCreated = obs.Default().Counter("core.link.created")
+	obsRSSIEvals    = obs.Default().Counter("core.link.rssi_evals")
+	obsPEREvals     = obs.Default().Counter("core.link.per_evals")
+)

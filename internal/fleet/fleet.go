@@ -25,6 +25,7 @@ import (
 	"multiscatter/internal/channel"
 	"multiscatter/internal/energy"
 	"multiscatter/internal/excite"
+	"multiscatter/internal/obs"
 	"multiscatter/internal/overlay"
 	"multiscatter/internal/radio"
 	"multiscatter/internal/sim"
@@ -97,6 +98,13 @@ type Config struct {
 	// DistanceBucketM is the calibrated-link cache resolution in metres
 	// (default 0.25).
 	DistanceBucketM float64
+	// Obs receives the run's metrics (counters, stage timers, the
+	// per-shard duration histogram); nil defaults to obs.Default(). The
+	// fleet.* counters recorded there are derived from the deterministic
+	// Result, so their totals are identical at any Workers value; stage
+	// timers and the shard histogram carry wall-clock and are not.
+	// Metric names are catalogued in docs/OBSERVABILITY.md.
+	Obs *obs.Registry
 }
 
 // PlaceGrid places n tags on a w×h-metre floor plan in a near-square
@@ -194,6 +202,11 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.DistanceBucketM <= 0 {
 		cfg.DistanceBucketM = 0.25
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.Default()
+	}
+	defer cfg.Obs.Stage("fleet.run").ObserveSince(time.Now())
+	cfg.Obs.Gauge("fleet.workers").Set(float64(cfg.Workers))
 	receivers := cfg.Receivers
 	if len(receivers) == 0 {
 		var cx, cy float64
@@ -208,7 +221,9 @@ func Run(cfg Config) (*Result, error) {
 	// Shared excitation timeline and its tag-side collision flags: both
 	// are properties of the air, identical for every tag, so they are
 	// computed once and shared read-only across the pool.
+	tTimeline := time.Now()
 	events := excite.Timeline(cfg.Sources, cfg.Span, sim.SeedRNG(cfg.Seed, sim.StreamFleetTimeline))
+	cfg.Obs.Stage("fleet.timeline").ObserveSince(tTimeline)
 	collided := excite.CollisionFlags(events)
 	exciteCollided := 0
 	for _, c := range collided {
@@ -263,6 +278,7 @@ func Run(cfg Config) (*Result, error) {
 	// static, so every (protocol, bucket, mode) working point and every
 	// (protocol, duration, mode) packet capacity is known up front and
 	// the parallel phases run on lock-free reads.
+	tPrefill := time.Now()
 	for _, t := range tags {
 		for _, p := range radio.Protocols {
 			cache.fill(p, t.bucket, t.mode)
@@ -273,6 +289,7 @@ func Run(cfg Config) (*Result, error) {
 			cache.fillBits(s.Protocol, s.PacketDuration, m)
 		}
 	}
+	cfg.Obs.Stage("fleet.prefill").ObserveSince(tPrefill)
 
 	// Shard the fleet: a fixed partition (independent of Workers) so the
 	// per-shard RNG streams, and therefore the results, do not move when
@@ -287,9 +304,24 @@ func Run(cfg Config) (*Result, error) {
 		shardTags[s] = append(shardTags[s], t)
 	}
 
+	// shardObs wraps a shard body so each shard execution lands in the
+	// fleet.shard_ns histogram and the fleet.shard_runs counter. The
+	// instruments are atomic, so concurrent shards record without locks.
+	shardObs := func(fn func(int)) func(int) {
+		h := cfg.Obs.Histogram("fleet.shard_ns", obs.TimeBucketsNS())
+		runs := cfg.Obs.Counter("fleet.shard_runs")
+		return func(shard int) {
+			t0 := time.Now()
+			fn(shard)
+			h.Observe(float64(time.Since(t0)))
+			runs.Inc()
+		}
+	}
+
 	// Phase 1 — identification: every tag classifies every packet
 	// (asleep / collided / misidentified / unsupported / responds).
-	runShards(cfg.Workers, numShards, func(shard int) {
+	tIdentify := time.Now()
+	runShards(cfg.Workers, numShards, shardObs(func(shard int) {
 		rng := sim.SeedRNG(cfg.Seed+int64(shard), sim.StreamFleetShard)
 		for _, t := range shardTags[shard] {
 			var harvester *energy.Harvester
@@ -351,13 +383,15 @@ func Run(cfg Config) (*Result, error) {
 				t.responses = append(t.responses, int32(i))
 			}
 		}
-	})
+	}))
+	cfg.Obs.Stage("fleet.identify").ObserveSince(tIdentify)
 
 	// Merge — cross-tag contention: serial, in tag-ID order, so RSSI
 	// ties resolve to the lowest tag ID deterministically. Two tags
 	// backscattering the same excitation packet toward the same receiver
 	// interfere; the receiver captures the strongest only if it clears
 	// the capture margin.
+	tContention := time.Now()
 	cont := make([][]contention, len(receivers))
 	for ri := range cont {
 		cont[ri] = make([]contention, len(events))
@@ -380,9 +414,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	cfg.Obs.Stage("fleet.contention").ObserveSince(tContention)
+
 	// Phase 2 — downlink: winners of the contention deliver their
 	// overlay bits if the calibrated link sustains them.
-	runShards(cfg.Workers, numShards, func(shard int) {
+	tDownlink := time.Now()
+	runShards(cfg.Workers, numShards, shardObs(func(shard int) {
 		rng := sim.SeedRNG(cfg.Seed+int64(shard), sim.StreamFleetDownlink)
 		for _, t := range shardTags[shard] {
 			for _, ei := range t.responses {
@@ -410,9 +447,16 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 		}
-	})
+	}))
+	cfg.Obs.Stage("fleet.downlink").ObserveSince(tDownlink)
 
-	return reduce(cfg, receivers, tags, len(events), exciteCollided, bucketDur, cache)
+	tReduce := time.Now()
+	res, err := reduce(cfg, receivers, tags, len(events), exciteCollided, bucketDur, cache)
+	cfg.Obs.Stage("fleet.reduce").ObserveSince(tReduce)
+	if err == nil {
+		recordRun(cfg.Obs, res)
+	}
+	return res, err
 }
 
 // runShards executes fn(shard) for every shard on a pool of workers

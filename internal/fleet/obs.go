@@ -1,0 +1,35 @@
+package fleet
+
+import (
+	"multiscatter/internal/obs"
+	"multiscatter/internal/sim"
+)
+
+// recordRun folds one completed run's aggregates into the registry's
+// fleet.* counters. Every value is read from the Result — which is
+// byte-identical for a fixed Config at any Workers — so counter totals
+// are exact and schedule-independent, unlike the wall-clock stage
+// timers recorded alongside them in Run.
+func recordRun(reg *obs.Registry, res *Result) {
+	reg.Counter("fleet.runs").Inc()
+	reg.Counter("fleet.events").Add(int64(res.Events))
+	reg.Counter("fleet.excite_collided").Add(int64(res.ExciteCollided))
+	reg.Counter("fleet.tags").Add(int64(res.NumTags))
+	reg.Counter("fleet.receivers").Add(int64(res.NumReceivers))
+	var packets, bits int64
+	for _, pt := range res.PerProtocol {
+		packets += int64(pt.Packets)
+		bits += int64(pt.TagBits)
+	}
+	reg.Counter("fleet.packets").Add(packets)
+	reg.Counter("fleet.delivered_bits").Add(bits)
+	for o, n := range res.Outcomes {
+		reg.Counter("fleet.outcome." + o.String()).Add(int64(n))
+	}
+	reg.Counter("fleet.responses").Add(int64(res.Outcomes[sim.Delivered] +
+		res.Outcomes[sim.CrossCollided] + res.Outcomes[sim.LostDownlink]))
+	reg.Counter("fleet.cache.link_lookups").Add(res.Cache.LinkLookups)
+	reg.Counter("fleet.cache.link_misses").Add(res.Cache.LinkMisses)
+	reg.Counter("fleet.cache.bits_lookups").Add(res.Cache.BitsLookups)
+	reg.Counter("fleet.cache.bits_misses").Add(res.Cache.BitsMisses)
+}

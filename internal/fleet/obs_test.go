@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"multiscatter/internal/excite"
+	"multiscatter/internal/obs"
+	"multiscatter/internal/sim"
+)
+
+func obsConfig(workers int, reg *obs.Registry) Config {
+	sc, _ := excite.FindScenario("office")
+	return Config{
+		Sources:   sc.Sources,
+		Tags:      PlaceGrid(24, 20, 20),
+		Receivers: PlaceReceivers(2, 20, 20),
+		Span:      2 * time.Second,
+		Seed:      7,
+		Workers:   workers,
+		Obs:       reg,
+	}
+}
+
+// TestObsCountersMatchResult checks the acceptance criterion that the
+// registry's fleet.* counters agree exactly with the run's own
+// aggregates — the counters are derived from the Result, so a drift
+// would mean the recording layer lies about the run it observed.
+func TestObsCountersMatchResult(t *testing.T) {
+	reg := obs.NewRegistry()
+	res, err := Run(obsConfig(0, reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	var packets, delivered int64
+	for _, pt := range res.PerProtocol {
+		packets += int64(pt.Packets)
+	}
+	delivered = int64(res.Outcomes[sim.Delivered])
+	checks := map[string]int64{
+		"fleet.runs":               1,
+		"fleet.events":             int64(res.Events),
+		"fleet.excite_collided":    int64(res.ExciteCollided),
+		"fleet.tags":               int64(res.NumTags),
+		"fleet.receivers":          int64(res.NumReceivers),
+		"fleet.packets":            packets,
+		"fleet.outcome.delivered":  delivered,
+		"fleet.cache.link_lookups": res.Cache.LinkLookups,
+		"fleet.cache.link_misses":  res.Cache.LinkMisses,
+		"fleet.cache.bits_lookups": res.Cache.BitsLookups,
+		"fleet.cache.bits_misses":  res.Cache.BitsMisses,
+		"fleet.shard_runs":         2 * 24, // two parallel phases × min(24 tags, 64 shards)
+	}
+	for name, want := range checks {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	if snap.Stages["fleet.run"].Count != 1 {
+		t.Errorf("fleet.run stage count = %d, want 1", snap.Stages["fleet.run"].Count)
+	}
+	if h := snap.Histograms["fleet.shard_ns"]; h.Count != 2*24 {
+		t.Errorf("fleet.shard_ns count = %d, want %d", h.Count, 2*24)
+	}
+}
+
+// TestObsCountersDeterministicAcrossWorkers checks that the counter
+// subset of the snapshot is byte-identical between a serial run and an
+// 8-worker run — the same contract the Result itself honors.
+func TestObsCountersDeterministicAcrossWorkers(t *testing.T) {
+	encode := func(workers int) []byte {
+		reg := obs.NewRegistry()
+		if _, err := Run(obsConfig(workers, reg)); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := reg.Snapshot().CountersOnly().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial, parallel := encode(1), encode(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("counters diverge across worker counts:\n-- workers=1 --\n%s\n-- workers=8 --\n%s", serial, parallel)
+	}
+}
+
+// TestObsEndpointServesRunCounters drives the full -obs path: run a
+// fleet against a registry, serve it over HTTP, and check the scraped
+// counters match the run.
+func TestObsEndpointServesRunCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	res, err := Run(obsConfig(0, reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(obs.Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := snap.Counters["fleet.events"], int64(res.Events); got != want {
+		t.Fatalf("scraped fleet.events = %d, want %d", got, want)
+	}
+	if resp, err := http.Get(srv.URL + "/debug/pprof/"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: %v, status %v", err, resp.Status)
+	} else {
+		resp.Body.Close()
+	}
+}

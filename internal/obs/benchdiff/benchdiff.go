@@ -1,0 +1,191 @@
+// Package benchdiff compares two BENCH_<date>.json metric documents —
+// the machine-readable output of `msbench -json` — and gates on
+// throughput regressions. The simulator's metrics are deterministic for
+// a fixed (trials, seed), so a fresh run diffed against the committed
+// baseline must be numerically identical; any drift is either an
+// intentional model change (regenerate the baseline and say so in the
+// PR) or a regression. scripts/bench_compare.sh wires this into
+// scripts/check.sh via the cli subpackage.
+package benchdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Doc is one BENCH_<date>.json document as written by msbench -json.
+type Doc struct {
+	// Generated timestamp (RFC 3339); informational only, never compared.
+	Generated string `json:"generated"`
+	// Trials and Seed the metrics were produced with. Comparing docs
+	// generated under different settings is flagged as an error, since
+	// the determinism contract only holds per (trials, seed).
+	Trials int   `json:"trials"`
+	Seed   int64 `json:"seed"`
+	// Metrics maps experiment id → metric name → value.
+	Metrics map[string]map[string]float64 `json:"metrics"`
+}
+
+// Load reads and decodes one document.
+func Load(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := &Doc{}
+	if err := json.Unmarshal(data, doc); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	if len(doc.Metrics) == 0 {
+		return nil, fmt.Errorf("benchdiff: %s: no metrics section", path)
+	}
+	return doc, nil
+}
+
+// LatestBaseline returns the lexically-latest BENCH_*.json in dir — the
+// date-stamped naming makes lexical order chronological.
+func LatestBaseline(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(matches) == 0 {
+		return "", fmt.Errorf("benchdiff: no BENCH_*.json baseline in %s", dir)
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1], nil
+}
+
+// Delta is one metric's change between baseline and new run.
+type Delta struct {
+	// Experiment and Metric identify the value ("fig13",
+	// "max_range_m_802.11b").
+	Experiment, Metric string
+	// Base and New are the two values; Rel is (New-Base)/|Base|
+	// (+Inf when Base is zero and New is not).
+	Base, New, Rel float64
+	// Gated reports whether the metric is a higher-is-better quality
+	// metric (see Gated) whose drop can fail the gate.
+	Gated bool
+}
+
+// key renders "experiment/metric".
+func (d Delta) key() string { return d.Experiment + "/" + d.Metric }
+
+// Gated reports whether a metric participates in the regression gate.
+// Throughput (kbps) and identification accuracy are higher-is-better
+// quality metrics: a drop beyond the threshold fails. Everything else
+// (ranges, powers, resource counts) is reported as drift but does not
+// gate, since "lower" is not uniformly worse for them.
+func Gated(metric string) bool {
+	return strings.Contains(metric, "kbps") || strings.Contains(metric, "accuracy")
+}
+
+// Report is the outcome of one comparison.
+type Report struct {
+	// Threshold the gate ran with (relative, e.g. 0.15).
+	Threshold float64
+	// Deltas lists every metric whose value moved, sorted by key.
+	Deltas []Delta
+	// Regressions is the subset of Deltas that fail the gate: gated
+	// metrics that dropped by more than Threshold.
+	Regressions []Delta
+	// Missing and Added name metrics present in only one document.
+	Missing, Added []string
+	// SettingsMismatch is non-empty when the two docs were generated
+	// with different trials/seed, which voids the comparison.
+	SettingsMismatch string
+}
+
+// OK reports whether the gate passes: settings match, nothing regressed.
+func (r *Report) OK() bool { return len(r.Regressions) == 0 && r.SettingsMismatch == "" }
+
+// Compare diffs a new run against a baseline with the given relative
+// regression threshold (≤0 defaults to 0.15).
+func Compare(base, fresh *Doc, threshold float64) *Report {
+	if threshold <= 0 {
+		threshold = 0.15
+	}
+	r := &Report{Threshold: threshold}
+	if base.Trials != fresh.Trials || base.Seed != fresh.Seed {
+		r.SettingsMismatch = fmt.Sprintf("baseline trials=%d seed=%d vs new trials=%d seed=%d",
+			base.Trials, base.Seed, fresh.Trials, fresh.Seed)
+	}
+	for _, exp := range sortedKeys(base.Metrics) {
+		bm := base.Metrics[exp]
+		nm := fresh.Metrics[exp]
+		for _, name := range sortedKeys(bm) {
+			bv := bm[name]
+			nv, ok := nm[name]
+			if !ok {
+				r.Missing = append(r.Missing, exp+"/"+name)
+				continue
+			}
+			if bv == nv {
+				continue
+			}
+			d := Delta{Experiment: exp, Metric: name, Base: bv, New: nv, Gated: Gated(name)}
+			if bv != 0 {
+				d.Rel = (nv - bv) / math.Abs(bv)
+			} else {
+				d.Rel = math.Inf(1)
+			}
+			r.Deltas = append(r.Deltas, d)
+			if d.Gated && d.Rel < -threshold {
+				r.Regressions = append(r.Regressions, d)
+			}
+		}
+	}
+	for _, exp := range sortedKeys(fresh.Metrics) {
+		for _, name := range sortedKeys(fresh.Metrics[exp]) {
+			if _, ok := base.Metrics[exp][name]; !ok {
+				r.Added = append(r.Added, exp+"/"+name)
+			}
+		}
+	}
+	return r
+}
+
+// Format renders the report for terminals: a summary line, then one line
+// per delta, with regressions marked. Empty-diff reports render as one
+// "identical" line.
+func (r *Report) Format() string {
+	var b strings.Builder
+	if r.SettingsMismatch != "" {
+		fmt.Fprintf(&b, "SETTINGS MISMATCH: %s\n", r.SettingsMismatch)
+	}
+	if len(r.Deltas) == 0 && len(r.Missing) == 0 && len(r.Added) == 0 && r.SettingsMismatch == "" {
+		return "bench-compare: metrics identical to baseline\n"
+	}
+	fmt.Fprintf(&b, "bench-compare: %d metrics moved, %d regressions (gate: gated metrics dropping >%.0f%%)\n",
+		len(r.Deltas), len(r.Regressions), r.Threshold*100)
+	for _, d := range r.Deltas {
+		mark := " "
+		if d.Gated && d.Rel < -r.Threshold {
+			mark = "✗"
+		}
+		fmt.Fprintf(&b, "%s %-45s %12.4g → %-12.4g (%+.1f%%)\n", mark, d.key(), d.Base, d.New, d.Rel*100)
+	}
+	for _, name := range r.Missing {
+		fmt.Fprintf(&b, "✗ %-45s missing from new run\n", name)
+	}
+	for _, name := range r.Added {
+		fmt.Fprintf(&b, "+ %-45s new metric (not in baseline)\n", name)
+	}
+	return b.String()
+}
+
+// sortedKeys returns m's keys in lexical order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,140 @@
+package benchdiff
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func doc() *Doc {
+	return &Doc{
+		Generated: "2026-08-06T00:00:00Z",
+		Trials:    30,
+		Seed:      1,
+		Metrics: map[string]map[string]float64{
+			"fig13": {
+				"goodput_kbps_ble":   28.4,
+				"accuracy":           0.97,
+				"max_range_m_802.11": 18.0,
+			},
+			"fig15": {
+				"fleet_kbps": 120.5,
+			},
+		},
+	}
+}
+
+func TestSelfCompareIsClean(t *testing.T) {
+	base := doc()
+	r := Compare(base, doc(), 0.15)
+	if !r.OK() || len(r.Deltas) != 0 || len(r.Missing) != 0 || len(r.Added) != 0 {
+		t.Fatalf("self-compare not clean: %+v", r)
+	}
+	if !strings.Contains(r.Format(), "identical") {
+		t.Fatalf("format = %q", r.Format())
+	}
+}
+
+func TestTwentyPercentThroughputDropFails(t *testing.T) {
+	fresh := doc()
+	fresh.Metrics["fig13"]["goodput_kbps_ble"] *= 0.80
+	r := Compare(doc(), fresh, 0.15)
+	if r.OK() {
+		t.Fatal("20% kbps drop must fail the 15% gate")
+	}
+	if len(r.Regressions) != 1 || r.Regressions[0].Metric != "goodput_kbps_ble" {
+		t.Fatalf("regressions = %+v", r.Regressions)
+	}
+	if !strings.Contains(r.Format(), "✗") {
+		t.Fatalf("format lacks regression mark:\n%s", r.Format())
+	}
+}
+
+func TestSmallDriftAndNonGatedDropPass(t *testing.T) {
+	fresh := doc()
+	fresh.Metrics["fig13"]["goodput_kbps_ble"] *= 0.90  // −10% < 15% gate
+	fresh.Metrics["fig13"]["max_range_m_802.11"] *= 0.5 // not gated
+	r := Compare(doc(), fresh, 0.15)
+	if !r.OK() {
+		t.Fatalf("gate failed on non-regressions: %+v", r.Regressions)
+	}
+	if len(r.Deltas) != 2 {
+		t.Fatalf("deltas = %+v", r.Deltas)
+	}
+}
+
+func TestGatedImprovementPasses(t *testing.T) {
+	fresh := doc()
+	fresh.Metrics["fig15"]["fleet_kbps"] *= 1.5
+	if r := Compare(doc(), fresh, 0.15); !r.OK() {
+		t.Fatalf("improvement flagged as regression: %+v", r.Regressions)
+	}
+}
+
+func TestMissingAndAddedMetrics(t *testing.T) {
+	fresh := doc()
+	delete(fresh.Metrics["fig15"], "fleet_kbps")
+	fresh.Metrics["fig13"]["new_metric"] = 1
+	r := Compare(doc(), fresh, 0.15)
+	if len(r.Missing) != 1 || r.Missing[0] != "fig15/fleet_kbps" {
+		t.Fatalf("missing = %v", r.Missing)
+	}
+	if len(r.Added) != 1 || r.Added[0] != "fig13/new_metric" {
+		t.Fatalf("added = %v", r.Added)
+	}
+}
+
+func TestSettingsMismatchVoidsComparison(t *testing.T) {
+	fresh := doc()
+	fresh.Seed = 2
+	r := Compare(doc(), fresh, 0.15)
+	if r.OK() || r.SettingsMismatch == "" {
+		t.Fatalf("seed mismatch not flagged: %+v", r)
+	}
+}
+
+func TestGated(t *testing.T) {
+	for name, want := range map[string]bool{
+		"goodput_kbps_ble": true,
+		"fleet_kbps":       true,
+		"accuracy":         true,
+		"max_range_m":      false,
+		"tx_power_dbm":     false,
+	} {
+		if Gated(name) != want {
+			t.Fatalf("Gated(%q) = %v, want %v", name, !want, want)
+		}
+	}
+}
+
+func TestLoadAndLatestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LatestBaseline(dir); err == nil {
+		t.Fatal("empty dir must error")
+	}
+	old := filepath.Join(dir, "BENCH_2026-01-01.json")
+	latest := filepath.Join(dir, "BENCH_2026-08-06.json")
+	body := []byte(`{"generated":"x","trials":30,"seed":1,"metrics":{"e":{"m":1}}}`)
+	for _, p := range []string{old, latest} {
+		if err := os.WriteFile(p, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LatestBaseline(dir)
+	if err != nil || got != latest {
+		t.Fatalf("LatestBaseline = %q, %v", got, err)
+	}
+	d, err := Load(got)
+	if err != nil || d.Trials != 30 || d.Metrics["e"]["m"] != 1 {
+		t.Fatalf("Load = %+v, %v", d, err)
+	}
+	if _, err := Load(filepath.Join(dir, "nope.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	empty := filepath.Join(dir, "BENCH_bad.json")
+	os.WriteFile(empty, []byte(`{"trials":1}`), 0o644)
+	if _, err := Load(empty); err == nil {
+		t.Fatal("doc without metrics must error")
+	}
+}

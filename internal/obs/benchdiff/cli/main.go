@@ -1,0 +1,56 @@
+// Command cli is the bench-regression gate used by
+// scripts/bench_compare.sh: it diffs a fresh msbench metrics JSON
+// against a committed BENCH_<date>.json baseline and exits non-zero on
+// gated regressions (throughput/accuracy dropping beyond the threshold)
+// or missing metrics.
+//
+// Usage:
+//
+//	go run ./internal/obs/benchdiff/cli -base BENCH_2026-08-06.json \
+//	    -new /tmp/run.json [-threshold 0.15]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multiscatter/internal/obs/benchdiff"
+)
+
+var (
+	basePath  = flag.String("base", "", "baseline BENCH_*.json (default: latest in repo root)")
+	newPath   = flag.String("new", "", "fresh metrics JSON to gate (required)")
+	threshold = flag.Float64("threshold", 0.15, "relative drop on gated metrics that fails the gate")
+)
+
+func main() {
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+	base := *basePath
+	if base == "" {
+		var err error
+		if base, err = benchdiff.LatestBaseline("."); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	}
+	baseDoc, err := benchdiff.Load(base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newDoc, err := benchdiff.Load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	report := benchdiff.Compare(baseDoc, newDoc, *threshold)
+	fmt.Printf("baseline %s vs %s\n%s", base, *newPath, report.Format())
+	if !report.OK() || len(report.Missing) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram: len(bounds)+1 buckets where
+// bucket i counts observations v with v ≤ bounds[i] (and the last bucket
+// is the overflow). Bounds are fixed at creation, so observing never
+// allocates, and two histograms with the same layout merge bucket-wise.
+// All methods are safe for concurrent use and lock-free.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// TimeBucketsNS is the default bucket layout for durations in
+// nanoseconds: decades from 1 µs to 10 s (1e3 … 1e10 ns), plus the
+// overflow bucket. Coarse on purpose — stage timings are for spotting
+// order-of-magnitude shifts, not percentile SLOs.
+func TimeBucketsNS() []float64 {
+	return ExpBuckets(1e3, 10, 8)
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start and multiplying by factor: start, start·factor, … — the standard
+// layout for latencies and sizes.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// newHistogram builds a histogram over the given sorted upper bounds
+// (nil → TimeBucketsNS).
+func newHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = TimeBucketsNS()
+	}
+	own := make([]float64, len(bounds))
+	copy(own, bounds)
+	return &Histogram{
+		bounds: own,
+		counts: make([]atomic.Int64, len(own)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// addFloat atomically adds v to the float64 stored in bits (CAS loop).
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// snapshot captures the histogram's current state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

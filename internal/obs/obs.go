@@ -1,0 +1,165 @@
+// Package obs is the simulator's observability layer: a lightweight,
+// allocation-conscious metrics registry — counters, gauges, fixed-bucket
+// histograms and stage timers — with snapshot/merge semantics designed
+// for the fleet engine's sharded workers.
+//
+// The design rules:
+//
+//   - The hot path never takes a lock. Instruments are resolved from the
+//     registry once (a map lookup under RWMutex), after which every
+//     Inc/Add/Set/Observe is one or two atomic operations. Workers that
+//     want full isolation record into their own Registry and fold the
+//     per-shard Snapshots together with Snapshot.Merge.
+//   - Counters are exact. Integer additions commute, so counter totals
+//     are byte-identical regardless of worker count or goroutine
+//     schedule — the property internal/fleet's determinism tests pin.
+//     Stage timers and histograms carry wall-clock nanoseconds and are
+//     *not* deterministic across runs; consumers that need stable output
+//     (report goldens, replay gates) use Snapshot.CountersOnly.
+//   - Snapshots are plain data. They marshal to stable JSON (Go sorts
+//     map keys), subtract (Sub) to scope a run inside a long-lived
+//     process, and merge (Merge) across shards or processes.
+//
+// Metric names are dotted paths owned by the instrumented package
+// ("fleet.cache.link_lookups", "phy.dsss.modulate_packets"); the full
+// registry of names is documented in docs/OBSERVABILITY.md. The
+// process-global registry (Default) backs the CLIs' -obs HTTP endpoint
+// (Handler/Serve), which also exposes net/http/pprof and expvar.
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value
+// is ready to use; all methods are safe for concurrent use and lock-free.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n should be non-negative; merges assume monotonicity).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current total.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a last-value float metric (a level, not a total): worker-pool
+// sizes, cache occupancy, configuration knobs. The zero value is ready
+// to use; Set/Load are single atomic operations.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the last value Set (zero if never set).
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Registry is a named collection of instruments. Instruments are created
+// on first use and live for the registry's lifetime; looking one up is a
+// read-locked map access, so resolve instruments once outside hot loops.
+// The zero Registry is not usable — call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	stages   map[string]*StageTimer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		stages:   map[string]*StageTimer{},
+	}
+}
+
+// defaultRegistry is the process-global registry behind Default.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry: package-level instruments
+// (phy, core, replay) record here, and the CLIs' -obs endpoint serves it.
+// Run-scoped consumers that need isolation (tests, fleet determinism
+// checks) should pass their own NewRegistry instead.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named fixed-bucket histogram, creating it with
+// the given upper bounds on first use. Later calls with the same name
+// return the existing histogram and ignore bounds, so one layout per
+// name is guaranteed registry-wide (the invariant Snapshot.Merge relies
+// on). bounds must be sorted ascending; nil defaults to TimeBucketsNS.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = newHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// Stage returns the named stage timer, creating it on first use.
+func (r *Registry) Stage(name string) *StageTimer {
+	r.mu.RLock()
+	t, ok := r.stages[name]
+	r.mu.RUnlock()
+	if ok {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok = r.stages[name]; ok {
+		return t
+	}
+	t = &StageTimer{}
+	r.stages[name] = t
+	return t
+}

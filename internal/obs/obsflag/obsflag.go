@@ -1,0 +1,49 @@
+// Package obsflag registers the shared -obs / -obs-hold flags that give
+// every multiscatter CLI the same observability surface: importing the
+// package adds the flags, and Start (called after flag.Parse) serves
+// obs.Default() — JSON metrics, markdown, expvar and net/http/pprof —
+// on the requested address. See docs/OBSERVABILITY.md for the endpoint
+// and metric catalogue.
+package obsflag
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"multiscatter/internal/obs"
+)
+
+var (
+	addr = flag.String("obs", "", "serve metrics + pprof on this address (e.g. :6060); empty disables")
+	hold = flag.Duration("obs-hold", 0, "with -obs, keep the metrics server up this long after the run finishes")
+)
+
+// Enabled reports whether -obs was set (valid after flag.Parse).
+func Enabled() bool { return *addr != "" }
+
+// Start launches the obs HTTP server when -obs is set and returns a
+// stop function for the caller to defer: it holds the server open for
+// -obs-hold (so a demo or a curl in a script can scrape a finished
+// run), then shuts it down. Without -obs both Start and the stop
+// function are no-ops. Listen failures are fatal — a requested but
+// silently missing metrics endpoint is worse than no endpoint.
+func Start(cli string) (stop func()) {
+	if *addr == "" {
+		return func() {}
+	}
+	srv, bound, err := obs.Serve(*addr, obs.Default())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cli, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%s: obs listening on http://%s (metrics, pprof)\n", cli, bound)
+	return func() {
+		if *hold > 0 {
+			fmt.Fprintf(os.Stderr, "%s: holding obs endpoint for %v\n", cli, *hold)
+			time.Sleep(*hold)
+		}
+		srv.Close()
+	}
+}

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// StageSnapshot is one stage timer's state at snapshot time.
+type StageSnapshot struct {
+	// Count of recorded executions.
+	Count int64 `json:"count"`
+	// TotalNS and MaxNS accumulated over those executions.
+	TotalNS int64 `json:"total_ns"`
+	MaxNS   int64 `json:"max_ns"`
+}
+
+// MeanNS returns the mean execution time in nanoseconds (0 when empty).
+func (s StageSnapshot) MeanNS() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.TotalNS / s.Count
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+// len(Counts) == len(Bounds)+1; the last count is the overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a registry's state as plain data: safe to marshal, diff,
+// merge, and ship across process boundaries. Map keys marshal in sorted
+// order (encoding/json), so two equal snapshots produce byte-identical
+// JSON. Counters are exact and schedule-independent; Gauges, Stages and
+// Histograms may carry wall-clock or last-writer values.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Stages     map[string]StageSnapshot     `json:"stages,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Stages:     make(map[string]StageSnapshot, len(r.stages)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, t := range r.stages {
+		s.Stages[name] = t.snapshot()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Merge folds o into a copy of s and returns it: counters, stage
+// accumulators and histogram buckets sum; stage maxima take the larger;
+// gauges take o's value when o has the name (last shard wins — gauges
+// are levels, not totals). Same-name histograms are assumed to share a
+// bucket layout, which the Registry guarantees for snapshots it
+// produced; buckets are summed index-wise over the shorter layout
+// otherwise. Neither input is modified.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	out := s.clone()
+	for name, v := range o.Counters {
+		out.Counters[name] += v
+	}
+	for name, v := range o.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, st := range o.Stages {
+		cur := out.Stages[name]
+		cur.Count += st.Count
+		cur.TotalNS += st.TotalNS
+		if st.MaxNS > cur.MaxNS {
+			cur.MaxNS = st.MaxNS
+		}
+		out.Stages[name] = cur
+	}
+	for name, h := range o.Histograms {
+		cur, ok := out.Histograms[name]
+		if !ok {
+			out.Histograms[name] = cloneHist(h)
+			continue
+		}
+		for i := 0; i < len(cur.Counts) && i < len(h.Counts); i++ {
+			cur.Counts[i] += h.Counts[i]
+		}
+		cur.Count += h.Count
+		cur.Sum += h.Sum
+		out.Histograms[name] = cur
+	}
+	return out
+}
+
+// Sub returns s minus prev — the activity that happened between two
+// snapshots of the same registry. It scopes one run's metrics inside a
+// long-lived process (the report generator uses it so cumulative
+// package-level counters render as per-run deltas). Counter and stage
+// deltas clamp at zero; stage MaxNS and gauges keep s's values (a
+// maximum and a level have no meaningful difference). Histogram buckets
+// subtract index-wise.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := s.clone()
+	for name, v := range prev.Counters {
+		if d := out.Counters[name] - v; d > 0 {
+			out.Counters[name] = d
+		} else {
+			delete(out.Counters, name)
+		}
+	}
+	for name, st := range prev.Stages {
+		cur, ok := out.Stages[name]
+		if !ok {
+			continue
+		}
+		cur.Count -= st.Count
+		cur.TotalNS -= st.TotalNS
+		if cur.Count <= 0 {
+			delete(out.Stages, name)
+			continue
+		}
+		out.Stages[name] = cur
+	}
+	for name, h := range prev.Histograms {
+		cur, ok := out.Histograms[name]
+		if !ok {
+			continue
+		}
+		for i := 0; i < len(cur.Counts) && i < len(h.Counts); i++ {
+			cur.Counts[i] -= h.Counts[i]
+		}
+		cur.Count -= h.Count
+		cur.Sum -= h.Sum
+		if cur.Count <= 0 {
+			delete(out.Histograms, name)
+			continue
+		}
+		out.Histograms[name] = cur
+	}
+	return out
+}
+
+// CountersOnly returns a snapshot holding only the counters — the
+// deterministic subset whose JSON encoding is byte-identical across
+// worker counts and repeated seeded runs.
+func (s Snapshot) CountersOnly() Snapshot {
+	out := Snapshot{Counters: make(map[string]int64, len(s.Counters))}
+	for name, v := range s.Counters {
+		out.Counters[name] = v
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON (stable key order).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Markdown renders the snapshot as a markdown fragment: a counter table,
+// gauges, and a stage table with count/total/mean/max. Histograms render
+// as one compact bucket line each. Names sort lexically, so two equal
+// snapshots render byte-identically.
+func (s Snapshot) Markdown() string {
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(&b, "| counter | value |\n|---|---|\n")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "| %s | %d |\n", name, s.Counters[name])
+		}
+		b.WriteString("\n")
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(&b, "| gauge | value |\n|---|---|\n")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "| %s | %g |\n", name, s.Gauges[name])
+		}
+		b.WriteString("\n")
+	}
+	if len(s.Stages) > 0 {
+		fmt.Fprintf(&b, "| stage | count | total | mean | max |\n|---|---|---|---|---|\n")
+		for _, name := range sortedKeys(s.Stages) {
+			st := s.Stages[name]
+			fmt.Fprintf(&b, "| %s | %d | %s | %s | %s |\n", name, st.Count,
+				fmtNS(st.TotalNS), fmtNS(st.MeanNS()), fmtNS(st.MaxNS))
+		}
+		b.WriteString("\n")
+	}
+	if len(s.Histograms) > 0 {
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			fmt.Fprintf(&b, "- histogram `%s`: n=%d sum=%g buckets=%v\n", name, h.Count, h.Sum, h.Counts)
+		}
+	}
+	return b.String()
+}
+
+// fmtNS renders nanoseconds with a human unit.
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// sortedKeys returns m's keys in lexical order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// clone deep-copies the snapshot.
+func (s Snapshot) clone() Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Stages:     make(map[string]StageSnapshot, len(s.Stages)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range s.Stages {
+		out.Stages[k] = v
+	}
+	for k, v := range s.Histograms {
+		out.Histograms[k] = cloneHist(v)
+	}
+	return out
+}
+
+// cloneHist deep-copies one histogram snapshot.
+func cloneHist(h HistogramSnapshot) HistogramSnapshot {
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.Bounds...),
+		Counts: append([]int64(nil), h.Counts...),
+		Count:  h.Count,
+		Sum:    h.Sum,
+	}
+}

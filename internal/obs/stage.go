@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// StageTimer accumulates the wall-clock cost of one named pipeline stage:
+// how many times it ran, total and maximum nanoseconds. The zero value is
+// ready to use; all methods are lock-free. Stage totals are wall-clock
+// and therefore not reproducible across runs — deterministic gates must
+// compare counters, not stages (see Snapshot.CountersOnly).
+type StageTimer struct {
+	count atomic.Int64
+	total atomic.Int64
+	max   atomic.Int64
+}
+
+// Observe records one execution of the stage.
+func (t *StageTimer) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	t.count.Add(1)
+	t.total.Add(ns)
+	for {
+		old := t.max.Load()
+		if ns <= old || t.max.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// ObserveSince records one execution that started at t0. The idiomatic
+// one-line form is
+//
+//	defer timer.ObserveSince(time.Now())
+//
+// which evaluates time.Now at the defer statement and the timer at
+// function return.
+func (t *StageTimer) ObserveSince(t0 time.Time) { t.Observe(time.Since(t0)) }
+
+// Time runs fn and records its duration.
+func (t *StageTimer) Time(fn func()) {
+	t0 := time.Now()
+	fn()
+	t.ObserveSince(t0)
+}
+
+// Count returns the number of recorded executions.
+func (t *StageTimer) Count() int64 { return t.count.Load() }
+
+// TotalNS returns the accumulated nanoseconds.
+func (t *StageTimer) TotalNS() int64 { return t.total.Load() }
+
+// snapshot captures the timer's current state.
+func (t *StageTimer) snapshot() StageSnapshot {
+	return StageSnapshot{
+		Count:   t.count.Load(),
+		TotalNS: t.total.Load(),
+		MaxNS:   t.max.Load(),
+	}
+}

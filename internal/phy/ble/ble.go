@@ -13,6 +13,7 @@ package ble
 import (
 	"errors"
 	"math"
+	"time"
 
 	"multiscatter/internal/dsp"
 	"multiscatter/internal/radio"
@@ -128,6 +129,8 @@ func (m *Modulator) FrameBits(pkt radio.Packet) []byte {
 
 // Modulate synthesizes the GFSK waveform for pkt and its layout.
 func (m *Modulator) Modulate(pkt radio.Packet) (radio.Waveform, *FrameInfo) {
+	obsModulated.Inc()
+	defer obsModulate.ObserveSince(time.Now())
 	sps := m.cfg.sps()
 	rate := m.cfg.SampleRate()
 	bits := m.FrameBits(pkt)
@@ -194,6 +197,8 @@ var ErrCRC = errors.New("ble: CRC mismatch")
 // Demodulate recovers the de-whitened PDU bits (payload + 24 CRC bits)
 // from w using layout info.
 func (d *Demodulator) Demodulate(w radio.Waveform, info *FrameInfo) ([]byte, error) {
+	obsDemodulated.Inc()
+	defer obsDemodulate.ObserveSince(time.Now())
 	if n := info.NumSymbols(); n > 0 {
 		if info.SymbolStart[n-1]+info.SamplesPerSymbol > len(w.IQ) {
 			return nil, ErrShortWaveform

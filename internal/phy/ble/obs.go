@@ -1,0 +1,13 @@
+package ble
+
+import "multiscatter/internal/obs"
+
+// Instruments on the default registry; catalogued in
+// docs/OBSERVABILITY.md. Counters count calls (deterministic per run);
+// stages carry wall-clock.
+var (
+	obsModulate    = obs.Default().Stage("phy.ble.modulate")
+	obsDemodulate  = obs.Default().Stage("phy.ble.demodulate")
+	obsModulated   = obs.Default().Counter("phy.ble.modulated")
+	obsDemodulated = obs.Default().Counter("phy.ble.demodulated")
+)

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"multiscatter/internal/radio"
 )
@@ -219,6 +220,8 @@ func (m *Modulator) headerBits(s *radio.Scrambler80211b, payloadBytes int) []byt
 // Modulate synthesizes the baseband waveform for pkt and returns it with
 // the frame layout. The payload is scrambled per the standard.
 func (m *Modulator) Modulate(pkt radio.Packet) (radio.Waveform, *FrameInfo) {
+	obsModulated.Inc()
+	defer obsModulate.ObserveSince(time.Now())
 	spc := m.cfg.samplesPerChip()
 	rate := m.cfg.SampleRate()
 	scr := radio.NewScrambler80211b()
@@ -448,6 +451,8 @@ var ErrShortWaveform = errors.New("dsss: waveform shorter than frame")
 // overlay phase flips show up as bit flips exactly as a commodity receiver
 // would see them.
 func (d *Demodulator) Demodulate(w radio.Waveform, info *FrameInfo) ([]byte, error) {
+	obsDemodulated.Inc()
+	defer obsDemodulate.ObserveSince(time.Now())
 	if len(info.SymbolStart) > 0 {
 		last := info.SymbolStart[len(info.SymbolStart)-1] + info.SamplesPerSymbol
 		if last > len(w.IQ) {

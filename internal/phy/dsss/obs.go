@@ -1,0 +1,13 @@
+package dsss
+
+import "multiscatter/internal/obs"
+
+// Instruments on the default registry; catalogued in
+// docs/OBSERVABILITY.md. Counters count calls (deterministic per run);
+// stages carry wall-clock.
+var (
+	obsModulate    = obs.Default().Stage("phy.dsss.modulate")
+	obsDemodulate  = obs.Default().Stage("phy.dsss.demodulate")
+	obsModulated   = obs.Default().Counter("phy.dsss.modulated")
+	obsDemodulated = obs.Default().Counter("phy.dsss.demodulated")
+)

@@ -1,0 +1,13 @@
+package ofdm
+
+import "multiscatter/internal/obs"
+
+// Instruments on the default registry; catalogued in
+// docs/OBSERVABILITY.md. Counters count calls (deterministic per run);
+// stages carry wall-clock.
+var (
+	obsModulate    = obs.Default().Stage("phy.ofdm.modulate")
+	obsDemodulate  = obs.Default().Stage("phy.ofdm.demodulate")
+	obsModulated   = obs.Default().Counter("phy.ofdm.modulated")
+	obsDemodulated = obs.Default().Counter("phy.ofdm.demodulated")
+)

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"multiscatter/internal/dsp"
 	"multiscatter/internal/radio"
@@ -231,6 +232,8 @@ func NewModulator(cfg Config) *Modulator {
 // Modulate synthesizes the frame for pkt and returns the waveform plus its
 // layout.
 func (m *Modulator) Modulate(pkt radio.Packet) (radio.Waveform, *FrameInfo) {
+	obsModulated.Inc()
+	defer obsModulate.ObserveSince(time.Now())
 	info := &FrameInfo{
 		Config:           m.cfg,
 		SampleRate:       SampleRate,
@@ -493,6 +496,8 @@ var ErrShortWaveform = errors.New("ofdm: waveform shorter than frame")
 // symbol, returning the information bits (Viterbi-decoded when the config
 // is coded).
 func (d *Demodulator) Demodulate(w radio.Waveform, info *FrameInfo) ([]byte, error) {
+	obsDemodulated.Inc()
+	defer obsDemodulate.ObserveSince(time.Now())
 	if info.PreambleEnd > len(w.IQ) {
 		return nil, ErrShortWaveform
 	}

@@ -1,0 +1,13 @@
+package zigbee
+
+import "multiscatter/internal/obs"
+
+// Instruments on the default registry; catalogued in
+// docs/OBSERVABILITY.md. Counters count calls (deterministic per run);
+// stages carry wall-clock.
+var (
+	obsModulate    = obs.Default().Stage("phy.zigbee.modulate")
+	obsDemodulate  = obs.Default().Stage("phy.zigbee.demodulate")
+	obsModulated   = obs.Default().Counter("phy.zigbee.modulated")
+	obsDemodulated = obs.Default().Counter("phy.zigbee.demodulated")
+)

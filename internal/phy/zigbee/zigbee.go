@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"multiscatter/internal/dsp"
 	"multiscatter/internal/radio"
@@ -123,6 +124,8 @@ func symbolsOf(data []byte) []byte {
 // Modulate synthesizes the O-QPSK waveform for pkt and its layout. The
 // frame is SHR (preamble + SFD), PHR (length byte), then the payload.
 func (m *Modulator) Modulate(pkt radio.Packet) (radio.Waveform, *FrameInfo) {
+	obsModulated.Inc()
+	defer obsModulate.ObserveSince(time.Now())
 	spc := m.cfg.spc()
 	rate := m.cfg.SampleRate()
 
@@ -212,6 +215,8 @@ type DemodSymbol struct {
 // Demodulate despreads every payload symbol, returning the best-match
 // symbol decisions.
 func (d *Demodulator) Demodulate(w radio.Waveform, info *FrameInfo) ([]DemodSymbol, error) {
+	obsDemodulated.Inc()
+	defer obsDemodulate.ObserveSince(time.Now())
 	spc := d.cfg.spc()
 	if n := info.NumSymbols(); n > 0 {
 		// The offset Q branch needs half a chip beyond the last symbol.

@@ -1,0 +1,14 @@
+package replay
+
+import "multiscatter/internal/obs"
+
+// Instruments on the default registry; catalogued in
+// docs/OBSERVABILITY.md.
+var (
+	obsEncode     = obs.Default().Stage("replay.encode")
+	obsDecode     = obs.Default().Stage("replay.decode")
+	obsJournals   = obs.Default().Counter("replay.journals")
+	obsEntries    = obs.Default().Counter("replay.entries")
+	obsDiffs      = obs.Default().Counter("replay.diffs")
+	obsMismatches = obs.Default().Counter("replay.diff_mismatches")
+)

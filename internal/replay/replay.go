@@ -121,6 +121,9 @@ func FromSim(seed int64, res *sim.Result) *Journal {
 // order, one entry per line — suitable for committing as a golden trace
 // and diffing byte-for-byte.
 func (j *Journal) Encode() []byte {
+	defer obsEncode.ObserveSince(time.Now())
+	obsJournals.Inc()
+	obsEntries.Add(int64(len(j.Entries)))
 	var b bytes.Buffer
 	fmt.Fprintln(&b, FormatVersion)
 	fmt.Fprintf(&b, "run kind=%s seed=%d tags=%d events=%d span=%s\n",
@@ -135,6 +138,7 @@ func (j *Journal) Encode() []byte {
 
 // Decode parses a canonical journal.
 func Decode(data []byte) (*Journal, error) {
+	defer obsDecode.ObserveSince(time.Now())
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	if !sc.Scan() || sc.Text() != FormatVersion {
 		return nil, fmt.Errorf("replay: bad or missing header (want %q)", FormatVersion)
@@ -205,6 +209,7 @@ func Decode(data []byte) (*Journal, error) {
 // count or RSSI drift reports the specific packet class that moved, not
 // just a byte offset.
 func Diff(want, got *Journal) []string {
+	obsDiffs.Inc()
 	var out []string
 	if want.Kind != got.Kind {
 		out = append(out, fmt.Sprintf("kind: want %s, got %s", want.Kind, got.Kind))
@@ -267,6 +272,7 @@ func Diff(want, got *Journal) []string {
 				name, w.Count, w.RSSIBucket, g.Count, g.RSSIBucket))
 		}
 	}
+	obsMismatches.Add(int64(len(out)))
 	return out
 }
 

@@ -54,6 +54,31 @@ func TestWriteReport(t *testing.T) {
 	}
 }
 
+// TestRunMetricsSectionStable is the golden determinism check for the
+// report's observability section: two identical seeded runs in the same
+// process must render byte-identically, even though the underlying obs
+// counters are cumulative (the section is a per-run delta of the
+// deterministic counter subset).
+func TestRunMetricsSectionStable(t *testing.T) {
+	render := func() string {
+		var sb strings.Builder
+		if err := Write(&sb, Options{Trials: 4, Seed: 3}); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Fatalf("two identical seeded reports differ:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if !strings.Contains(first, "## Run metrics") {
+		t.Fatal("report missing Run metrics section")
+	}
+	if !strings.Contains(first, "core.link.rssi_evals") {
+		t.Fatalf("Run metrics section missing link-eval counters:\n%s", first)
+	}
+}
+
 func TestWriteReportPropagatesErrors(t *testing.T) {
 	if err := Write(&failAfter{n: 100}, Options{Trials: 4}); err == nil {
 		t.Fatal("write error not propagated")

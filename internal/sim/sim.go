@@ -15,6 +15,7 @@ import (
 	"multiscatter/internal/core"
 	"multiscatter/internal/energy"
 	"multiscatter/internal/excite"
+	"multiscatter/internal/obs"
 	"multiscatter/internal/overlay"
 	"multiscatter/internal/radio"
 )
@@ -182,6 +183,8 @@ func PacketBits(p radio.Protocol, dur time.Duration, m overlay.Mode) (int, int) 
 
 // Run executes the simulation.
 func Run(cfg Config) (*Result, error) {
+	defer obs.Default().Stage("sim.run").ObserveSince(time.Now())
+	obs.Default().Counter("sim.runs").Inc()
 	if len(cfg.Sources) == 0 {
 		return nil, fmt.Errorf("sim: no excitation sources")
 	}
@@ -254,6 +257,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	events := excite.Timeline(cfg.Sources, cfg.Span, rng)
+	obs.Default().Counter("sim.packets").Add(int64(len(events)))
 	collided := excite.CollisionFlags(events)
 	bucketDur := time.Duration(bucketMS) * time.Millisecond
 	res := &Result{

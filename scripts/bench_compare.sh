@@ -1,0 +1,35 @@
+#!/bin/sh
+# Bench-regression gate: regenerate the msbench metrics and diff them
+# against the latest committed BENCH_<date>.json baseline via
+# internal/obs/benchdiff. Exits non-zero when a gated metric (kbps /
+# accuracy) drops more than the threshold, when metrics go missing, or
+# when the run settings diverge from the baseline's.
+#
+# Usage:
+#   scripts/bench_compare.sh                 # fresh run vs latest baseline
+#   scripts/bench_compare.sh NEW.json        # existing run vs latest baseline
+#   scripts/bench_compare.sh NEW.json BASE.json
+#
+# Environment:
+#   BENCH_THRESHOLD   relative drop that fails the gate (default 0.15)
+#   BENCH_TRIALS      msbench -trials for a fresh run (default 30)
+#   BENCH_SEED        msbench -seed for a fresh run (default 1)
+set -eu
+cd "$(dirname "$0")/.."
+
+NEW="${1:-}"
+BASE="${2:-}"
+THRESHOLD="${BENCH_THRESHOLD:-0.15}"
+
+if [ -z "$NEW" ]; then
+    NEW="$(mktemp /tmp/msbench-metrics.XXXXXX.json)"
+    trap 'rm -f "$NEW"' EXIT
+    echo "== msbench: generating fresh metrics (trials=${BENCH_TRIALS:-30}, seed=${BENCH_SEED:-1})"
+    go run ./cmd/msbench -trials "${BENCH_TRIALS:-30}" -seed "${BENCH_SEED:-1}" -json "$NEW" >/dev/null
+fi
+
+if [ -n "$BASE" ]; then
+    go run ./internal/obs/benchdiff/cli -base "$BASE" -new "$NEW" -threshold "$THRESHOLD"
+else
+    go run ./internal/obs/benchdiff/cli -new "$NEW" -threshold "$THRESHOLD"
+fi

@@ -15,4 +15,10 @@ echo "== replay-diff (golden trace, serial vs parallel)"
 go test -run TestGoldenTrace -count=1 ./internal/replay
 echo "== overlay fuzz smoke (5s)"
 go test -run - -fuzz FuzzPlanInvariants -fuzztime 5s ./internal/overlay
+if [ "${MS_SKIP_BENCH:-}" = "1" ]; then
+    echo "== bench-compare (skipped: MS_SKIP_BENCH=1)"
+else
+    echo "== bench-compare (msbench metrics vs committed baseline)"
+    sh scripts/bench_compare.sh
+fi
 echo "OK"
