@@ -6,10 +6,11 @@
 #   make bench          fleet benchmarks at workers=1 and workers=NumCPU
 #   make bench-compare  msbench metrics vs committed BENCH_<date>.json baseline
 #   make obs-demo       short fleet run with the -obs endpoint up, scraped with curl
+#   make trace-demo     seeded fleet run exporting a Perfetto-loadable trace
 
 GO ?= go
 
-.PHONY: all build vet test race check replay-diff bench bench-compare obs-demo
+.PHONY: all build vet test race check replay-diff bench bench-compare obs-demo trace-demo
 
 all: check
 
@@ -56,3 +57,13 @@ obs-demo:
 	echo "-- curl /debug/pprof/ --"; \
 	curl -s -o /dev/null -w "pprof index: %{http_code}\n" http://127.0.0.1:6060/debug/pprof/; \
 	wait
+
+# Produces a Perfetto-loadable flight-recorder trace from a seeded fleet
+# run: load /tmp/msfleet-trace.json at https://ui.perfetto.dev (or
+# chrome://tracing) to browse per-packet lifecycles grouped by shard and
+# tag. Identical seeds reproduce the trace byte-for-byte.
+trace-demo:
+	$(GO) build -o /tmp/msfleet-trace-demo ./cmd/msfleet
+	/tmp/msfleet-trace-demo -tags 30 -floor 12x12 -receivers 4 -span 2s -seed 7 \
+		-trace /tmp/msfleet-trace.json -trace-format chrome -trace-sample 10 > /dev/null
+	@echo "trace written to /tmp/msfleet-trace.json — open https://ui.perfetto.dev and load it"

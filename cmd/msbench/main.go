@@ -27,6 +27,7 @@ import (
 	"multiscatter/internal/analog"
 	"multiscatter/internal/baseline"
 	"multiscatter/internal/channel"
+	"multiscatter/internal/clilog"
 	"multiscatter/internal/core"
 	"multiscatter/internal/dsp"
 	"multiscatter/internal/energy"
@@ -49,6 +50,8 @@ var (
 
 func main() {
 	flag.Parse()
+	lg := clilog.Setup("msbench")
+	lg.Debug("bench starting", "experiment", *experiment, "trials", *trials, "seed", *seed)
 	defer obsflag.Start("msbench")()
 	if *markdown != "" || *jsonOut != "" {
 		runReport()

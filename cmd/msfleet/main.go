@@ -10,7 +10,8 @@
 //	        [-span 10s] [-seed 1] [-workers 0] [-capture 10] [-shadow 0]
 //	        [-lux 0] [-top 5] [-json fleet.json]
 //	        [-journal run.journal] [-replay golden.journal]
-//	        [-obs :6060] [-obs-hold 5s]
+//	        [-trace run.jsonl] [-trace-sample 100] [-trace-format chrome]
+//	        [-obs :6060] [-obs-hold 5s] [-v] [-q]
 package main
 
 import (
@@ -23,10 +24,12 @@ import (
 	"time"
 
 	"multiscatter/internal/channel"
+	"multiscatter/internal/clilog"
 	"multiscatter/internal/excite"
 	"multiscatter/internal/fleet"
 	"multiscatter/internal/obs"
 	"multiscatter/internal/obs/obsflag"
+	"multiscatter/internal/obs/ptrace/traceflag"
 	"multiscatter/internal/replay"
 	"multiscatter/internal/sim"
 )
@@ -51,6 +54,7 @@ var (
 
 func main() {
 	flag.Parse()
+	lg := clilog.Setup("msfleet")
 	defer obsflag.Start("msfleet")()
 
 	sc, err := excite.FindScenario(*scenario)
@@ -87,11 +91,22 @@ func main() {
 		cfg.Channel = ch
 	}
 
+	rec := traceflag.Recorder("msfleet")
+	cfg.Trace = rec
+	lg.Debug("run starting",
+		"scenario", sc.Name, "seed", *seed, "workers", *workers, "span", *span,
+		"tags", *tags, "receivers", *receivers, "trace", traceflag.Enabled())
+
+	t0 := time.Now()
 	res, err := fleet.Run(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "msfleet:", err)
+		lg.Error("run failed", "err", err)
 		os.Exit(1)
 	}
+	traceflag.Finish("msfleet", rec)
+	lg.Debug("run complete",
+		"seed", *seed, "workers", *workers, "wall", time.Since(t0).Round(time.Millisecond),
+		"packets", res.Events, "fleet_kbps", res.FleetTagKbps)
 
 	fmt.Printf("scenario %q: %s\n\n", sc.Name, sc.Description)
 	fmt.Print(res.Markdown())

@@ -8,7 +8,8 @@
 //	mssim [-span 10s] [-distance 2] [-lux 0] [-single 11n]
 //	      [-wifi 2000] [-ble 34] [-zigbee 20] [-duty 0] [-shadow 0]
 //	      [-journal run.journal] [-replay golden.journal]
-//	      [-obs :6060] [-obs-hold 5s]
+//	      [-trace run.jsonl] [-trace-sample 100] [-trace-format jsonl]
+//	      [-obs :6060] [-obs-hold 5s] [-v] [-q]
 package main
 
 import (
@@ -19,8 +20,10 @@ import (
 	"time"
 
 	"multiscatter/internal/channel"
+	"multiscatter/internal/clilog"
 	"multiscatter/internal/excite"
 	"multiscatter/internal/obs/obsflag"
+	"multiscatter/internal/obs/ptrace/traceflag"
 	"multiscatter/internal/radio"
 	"multiscatter/internal/replay"
 	"multiscatter/internal/sim"
@@ -44,6 +47,7 @@ var (
 
 func main() {
 	flag.Parse()
+	lg := clilog.Setup("mssim")
 	defer obsflag.Start("mssim")()
 	var sources []excite.Source
 	add := func(s excite.Source, rate float64) {
@@ -97,11 +101,22 @@ func main() {
 		cfg.Tag.Supported = []radio.Protocol{p}
 	}
 
+	rec := traceflag.Recorder("mssim")
+	cfg.Trace = rec
+	lg.Debug("run starting",
+		"seed", *seed, "span", *span, "sources", len(sources),
+		"distance_m", *distance, "lux", *lux, "trace", traceflag.Enabled())
+
+	t0 := time.Now()
 	res, err := sim.Run(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mssim:", err)
+		lg.Error("run failed", "err", err)
 		os.Exit(1)
 	}
+	traceflag.Finish("mssim", rec)
+	lg.Debug("run complete",
+		"seed", *seed, "wall", time.Since(t0).Round(time.Millisecond),
+		"tag_kbps", res.TagKbps, "energy_rounds", res.EnergyRounds)
 
 	fmt.Printf("deployment: %v span, receiver at %.1f m", *span, *distance)
 	if *lux > 0 {

@@ -1,0 +1,35 @@
+// Package clilog gives every multiscatter CLI the same structured
+// logging surface: importing the package registers the -v and -q flags,
+// and Setup (called after flag.Parse) installs a log/slog text handler
+// on stderr at the requested level. Human-facing reports stay on
+// stdout; slog carries the machine-greppable key=value run context
+// (seed, workers, span, …).
+package clilog
+
+import (
+	"flag"
+	"log/slog"
+	"os"
+)
+
+var (
+	verbose = flag.Bool("v", false, "verbose: include debug-level structured logs on stderr")
+	quiet   = flag.Bool("q", false, "quiet: only warning and error logs on stderr")
+)
+
+// Setup builds the CLI's logger per -v/-q (default level info, -v
+// debug, -q warn), installs it as the slog default, and returns it
+// tagged with the CLI name.
+func Setup(cli string) *slog.Logger {
+	level := slog.LevelInfo
+	switch {
+	case *verbose:
+		level = slog.LevelDebug
+	case *quiet:
+		level = slog.LevelWarn
+	}
+	lg := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})).
+		With("cli", cli)
+	slog.SetDefault(lg)
+	return lg
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -26,10 +27,18 @@ import (
 	"multiscatter/internal/energy"
 	"multiscatter/internal/excite"
 	"multiscatter/internal/obs"
+	"multiscatter/internal/obs/ptrace"
 	"multiscatter/internal/overlay"
 	"multiscatter/internal/radio"
 	"multiscatter/internal/sim"
 )
+
+// DivergeHook, when non-nil, forces any downlink response for which it
+// returns true to classify as cross-collided. It exists so the
+// divergence-explainer tests can force a seeded, workers-dependent
+// divergence and assert the explainer names the packet; it must never
+// be set outside tests.
+var DivergeHook func(workers, tag, packet int) bool
 
 const (
 	// protocolSlots sizes per-protocol arrays (ProtocolUnknown..80211n).
@@ -105,6 +114,12 @@ type Config struct {
 	// timers and the shard histogram carry wall-clock and are not.
 	// Metric names are catalogued in docs/OBSERVABILITY.md.
 	Obs *obs.Registry
+	// Trace, when non-nil, records every sampled packet's lifecycle
+	// (excite → energy → identify → plan → channel → demod → outcome)
+	// into the flight recorder. Events are timestamped in sim-time, so
+	// the drained stream is byte-identical at any Workers value. nil
+	// (the default) keeps the hot path to one pointer check per packet.
+	Trace *ptrace.Recorder
 }
 
 // PlaceGrid places n tags on a w×h-metre floor plan in a near-square
@@ -174,6 +189,57 @@ type tagRun struct {
 	buckets []float64
 
 	energyRounds int
+}
+
+// trace1 records one lifecycle stage event for timeline packet i. Only
+// called behind a `traced` guard, so the disabled path never builds an
+// Event.
+func (t *tagRun) trace1(tr *ptrace.ShardRecorder, e excite.Event, i int, stage ptrace.Stage, detail string) {
+	ev := tr.Alloc()
+	ev.TUS = int64(e.Start / time.Microsecond)
+	ev.Tag = int32(t.id)
+	ev.Packet = int32(i)
+	ev.Proto = e.Protocol.String()
+	ev.Stage = stage
+	ev.Detail = detail
+}
+
+// trace2 records a stage verdict plus the lifecycle's final outcome.
+func (t *tagRun) trace2(tr *ptrace.ShardRecorder, e excite.Event, i int, stage ptrace.Stage, detail string, out sim.Outcome) {
+	t.trace1(tr, e, i, stage, detail)
+	t.trace1(tr, e, i, ptrace.StageOutcome, out.String())
+}
+
+// The detail builders below produce the same bytes as the obvious
+// fmt.Sprintf calls; strconv keeps the traced hot path off fmt's
+// reflection machinery (BenchmarkFleetTrace/sample100 gates this).
+
+// detailN renders prefix + n, e.g. "cross-collided n=3".
+func detailN(prefix string, n int32) string {
+	return string(strconv.AppendInt(append(make([]byte, 0, 32), prefix...), int64(n), 10))
+}
+
+// detailCaptured renders "captured n=<n> margin=<m>dB" with %.1f margin.
+func detailCaptured(n int32, marginDB float64) string {
+	b := append(make([]byte, 0, 48), "captured n="...)
+	b = strconv.AppendInt(b, int64(n), 10)
+	b = append(b, " margin="...)
+	b = strconv.AppendFloat(b, marginDB, 'f', 1, 64)
+	return string(append(b, "dB"...))
+}
+
+// detailPERLoss renders "per-loss per=<per>" with %.4f.
+func detailPERLoss(per float64) string {
+	b := append(make([]byte, 0, 32), "per-loss per="...)
+	return string(strconv.AppendFloat(b, per, 'f', 4, 64))
+}
+
+// detailDelivered renders "ok rssi=<rssi>dBm bits=<bits>" with %.1f rssi.
+func detailDelivered(rssiDBm float64, bits int) string {
+	b := append(make([]byte, 0, 48), "ok rssi="...)
+	b = strconv.AppendFloat(b, rssiDBm, 'f', 1, 64)
+	b = append(b, "dBm bits="...)
+	return string(strconv.AppendInt(b, int64(bits), 10))
 }
 
 // Run executes the fleet deployment.
@@ -303,6 +369,10 @@ func Run(cfg Config) (*Result, error) {
 		s := t.id % numShards
 		shardTags[s] = append(shardTags[s], t)
 	}
+	// The flight recorder shares the shard partition, so each shard's
+	// ring is single-writer and the drained stream cannot depend on the
+	// worker count (see internal/obs/ptrace).
+	cfg.Trace.Configure(numShards)
 
 	// shardObs wraps a shard body so each shard execution lands in the
 	// fleet.shard_ns histogram and the fleet.shard_runs counter. The
@@ -318,11 +388,17 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	// traceMask is the per-packet sampling decision, computed once and
+	// indexed (read-only) by every shard's hot loop; nil when tracing is
+	// off, so `traceMask != nil && traceMask[i]` is the traced test.
+	traceMask := cfg.Trace.Mask(len(events))
+
 	// Phase 1 — identification: every tag classifies every packet
 	// (asleep / collided / misidentified / unsupported / responds).
 	tIdentify := time.Now()
 	runShards(cfg.Workers, numShards, shardObs(func(shard int) {
 		rng := sim.SeedRNG(cfg.Seed+int64(shard), sim.StreamFleetShard)
+		tr := cfg.Trace.Shard(shard)
 		for _, t := range shardTags[shard] {
 			var harvester *energy.Harvester
 			var lux float64
@@ -346,9 +422,28 @@ func Run(cfg Config) (*Result, error) {
 			}
 			clock := time.Duration(0)
 			wasActive := harvester == nil || harvester.Active()
+			modeStr := ""
+			if tr != nil {
+				modeStr = t.mode.String() // hoisted: Mode.String formats
+			}
 			for i, e := range events {
 				p := e.Protocol
 				t.packets[p]++
+				// Tracing pays one nil check per packet when off; all
+				// event construction sits behind `traced`.
+				traced := traceMask != nil && traceMask[i]
+				if traced {
+					ev := tr.Alloc()
+					ev.TUS = int64(e.Start / time.Microsecond)
+					ev.DurUS = int64(e.Duration / time.Microsecond)
+					ev.Tag = int32(t.id)
+					ev.Packet = int32(i)
+					ev.Proto = p.String()
+					ev.Stage = ptrace.StageExcite
+					if collided[i] {
+						ev.Detail = "air-collided"
+					}
+				}
 				if harvester != nil {
 					for clock < e.Start {
 						step := e.Start - clock
@@ -364,21 +459,40 @@ func Run(cfg Config) (*Result, error) {
 					}
 					if !harvester.Active() {
 						t.counts[p][sim.TagAsleep]++
+						if traced {
+							t.trace2(tr, e, i, ptrace.StageEnergy, "asleep", sim.TagAsleep)
+						}
 						continue
 					}
 					harvester.Step(e.Duration.Seconds(), lux)
+					if traced {
+						t.trace1(tr, e, i, ptrace.StageEnergy, "awake")
+					}
 				}
 				if collided[i] {
 					t.counts[p][sim.Collided]++
+					if traced {
+						t.trace2(tr, e, i, ptrace.StageIdentify, "air-collision", sim.Collided)
+					}
 					continue
 				}
 				if rng.Float64() > t.accuracy[p] {
 					t.counts[p][sim.Misidentified]++
+					if traced {
+						t.trace2(tr, e, i, ptrace.StageIdentify, "missed", sim.Misidentified)
+					}
 					continue
 				}
 				if !t.supported[p] {
 					t.counts[p][sim.Unsupported]++
+					if traced {
+						t.trace2(tr, e, i, ptrace.StageIdentify, "ok", sim.Unsupported)
+					}
 					continue
+				}
+				if traced {
+					t.trace1(tr, e, i, ptrace.StageIdentify, "ok")
+					t.trace1(tr, e, i, ptrace.StagePlan, modeStr)
 				}
 				t.responses = append(t.responses, int32(i))
 			}
@@ -421,22 +535,47 @@ func Run(cfg Config) (*Result, error) {
 	tDownlink := time.Now()
 	runShards(cfg.Workers, numShards, shardObs(func(shard int) {
 		rng := sim.SeedRNG(cfg.Seed+int64(shard), sim.StreamFleetDownlink)
+		tr := cfg.Trace.Shard(shard)
 		for _, t := range shardTags[shard] {
 			for _, ei := range t.responses {
 				e := events[ei]
 				p := e.Protocol
 				c := &cont[t.rx][ei]
-				if c.count > 1 && (c.bestTag != int32(t.id) || c.bestRSSI-c.secondRSSI < cfg.CaptureDB) {
+				traced := traceMask != nil && traceMask[ei]
+				lost := c.count > 1 && (c.bestTag != int32(t.id) || c.bestRSSI-c.secondRSSI < cfg.CaptureDB)
+				if DivergeHook != nil && DivergeHook(cfg.Workers, t.id, int(ei)) {
+					lost = true
+				}
+				if lost {
 					t.counts[p][sim.CrossCollided]++
+					if traced {
+						t.trace2(tr, e, int(ei), ptrace.StageChannel,
+							detailN("cross-collided n=", c.count), sim.CrossCollided)
+					}
 					continue
+				}
+				if traced {
+					if c.count > 1 {
+						t.trace1(tr, e, int(ei), ptrace.StageChannel,
+							detailCaptured(c.count, c.bestRSSI-c.secondRSSI))
+					} else {
+						t.trace1(tr, e, int(ei), ptrace.StageChannel, "clear")
+					}
 				}
 				entry := cache.link(p, t.bucket, t.mode)
 				if !entry.InRange {
 					t.counts[p][sim.LostDownlink]++
+					if traced {
+						t.trace2(tr, e, int(ei), ptrace.StageDemod, "out-of-range", sim.LostDownlink)
+					}
 					continue
 				}
 				if entry.PERTag > 0 && rng.Float64() < entry.PERTag {
 					t.counts[p][sim.LostDownlink]++
+					if traced {
+						t.trace2(tr, e, int(ei), ptrace.StageDemod,
+							detailPERLoss(entry.PERTag), sim.LostDownlink)
+					}
 					continue
 				}
 				t.counts[p][sim.Delivered]++
@@ -444,6 +583,10 @@ func Run(cfg Config) (*Result, error) {
 				t.tagBits[p] += bits
 				if b := int(e.Start / bucketDur); b < len(t.buckets) {
 					t.buckets[b] += float64(bits)
+				}
+				if traced {
+					t.trace2(tr, e, int(ei), ptrace.StageDemod,
+						detailDelivered(entry.RSSIdBm, bits), sim.Delivered)
 				}
 			}
 		}

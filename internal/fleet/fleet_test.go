@@ -103,6 +103,7 @@ func TestFleetDeterministicAcrossWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(serial, parallel) {
+		explainDivergence(t, cfg, cfg.Workers)
 		t.Fatal("fleet result differs between workers=1/GOMAXPROCS=1 and a parallel pool")
 	}
 
@@ -149,6 +150,7 @@ func TestFleetShadowingDeterministicAcrossWorkers(t *testing.T) {
 	sj, _ := json.Marshal(serial)
 	pj, _ := json.Marshal(parallel)
 	if string(sj) != string(pj) {
+		explainDivergence(t, cfg, cfg.Workers)
 		t.Fatal("shadowing-enabled fleet result differs across pool sizes")
 	}
 

@@ -6,12 +6,17 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+
+	"multiscatter/internal/obs/ptrace"
 )
 
 // Handler returns the -obs HTTP handler for reg:
 //
-//	/metrics        registry snapshot as JSON (stable key order)
+//	/metrics        registry snapshot as JSON (stable key order);
+//	                ?counters=1 restricts it to the deterministic
+//	                counter subset (Snapshot.CountersOnly)
 //	/metrics.md     the same snapshot rendered as markdown
+//	/trace/last     the last drained flight-recorder stream as JSONL
 //	/debug/pprof/   net/http/pprof profiles (heap, profile, trace, …)
 //	/debug/vars     expvar (Go runtime memstats + cmdline)
 //	/               plain-text index of the above
@@ -20,15 +25,30 @@ import (
 // curling /metrics during a run shows counters in motion.
 func Handler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		if err := reg.Snapshot().WriteJSON(w); err != nil {
+		s := reg.Snapshot()
+		if r.URL.Query().Get("counters") == "1" {
+			s = s.CountersOnly()
+		}
+		if err := s.WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
 	mux.HandleFunc("/metrics.md", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
 		fmt.Fprint(w, reg.Snapshot().Markdown())
+	})
+	mux.HandleFunc("/trace/last", func(w http.ResponseWriter, _ *http.Request) {
+		evs := ptrace.Last()
+		if len(evs) == 0 {
+			http.Error(w, "no trace recorded (run with -trace or -trace-sample)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		if err := ptrace.WriteJSONL(w, evs); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -43,7 +63,7 @@ func Handler(reg *Registry) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "multiscatter obs endpoints:")
-		for _, p := range []string{"/metrics", "/metrics.md", "/debug/pprof/", "/debug/vars"} {
+		for _, p := range []string{"/metrics", "/metrics.md", "/trace/last", "/debug/pprof/", "/debug/vars"} {
 			fmt.Fprintln(w, "  "+p)
 		}
 	})
@@ -52,8 +72,8 @@ func Handler(reg *Registry) http.Handler {
 
 // Serve starts an HTTP server for Handler(reg) on addr (e.g. ":6060").
 // It returns the server and the bound address (useful with ":0") without
-// blocking; the caller owns shutdown via srv.Close. This is what the
-// CLIs' -obs flag starts.
+// blocking; the caller owns shutdown (srv.Shutdown for graceful drain,
+// srv.Close to abort). This is what the CLIs' -obs flag starts.
 func Serve(addr string, reg *Registry) (srv *http.Server, boundAddr string, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

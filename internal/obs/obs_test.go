@@ -2,10 +2,7 @@ package obs
 
 import (
 	"bytes"
-	"encoding/json"
-	"io"
 	"net/http"
-	"net/http/httptest"
 	"reflect"
 	"strings"
 	"sync"
@@ -66,9 +63,46 @@ func TestStageTimer(t *testing.T) {
 	if s.MaxNS != int64(30*time.Millisecond) || s.MeanNS() != int64(20*time.Millisecond) {
 		t.Fatalf("max/mean = %d/%d", s.MaxNS, s.MeanNS())
 	}
+	if s.MinNS != int64(10*time.Millisecond) {
+		t.Fatalf("min = %d, want %d", s.MinNS, int64(10*time.Millisecond))
+	}
 	st.Time(func() { time.Sleep(time.Millisecond) })
 	if st.Count() != 3 || st.TotalNS() <= s.TotalNS {
 		t.Fatal("Time did not record")
+	}
+	if st.MinNS() > int64(10*time.Millisecond) {
+		t.Fatalf("min grew after a faster observation: %d", st.MinNS())
+	}
+}
+
+func TestStageTimerMin(t *testing.T) {
+	var st StageTimer
+	if st.MinNS() != 0 {
+		t.Fatalf("zero-value min = %d, want 0", st.MinNS())
+	}
+	// A genuine 0 ns observation must be distinguishable from "unset".
+	st.Observe(0)
+	if s := st.snapshot(); s.MinNS != 0 || s.Count != 1 {
+		t.Fatalf("after Observe(0): %+v", s)
+	}
+	st.Observe(5 * time.Microsecond)
+	if st.MinNS() != 0 {
+		t.Fatalf("min climbed to %d after a slower observation", st.MinNS())
+	}
+
+	// Merge takes the smaller valid minimum and ignores empty sides.
+	var slow, fast, empty StageTimer
+	slow.Observe(9 * time.Millisecond)
+	fast.Observe(2 * time.Millisecond)
+	a := Snapshot{Stages: map[string]StageSnapshot{"p": slow.snapshot()}}
+	b := Snapshot{Stages: map[string]StageSnapshot{"p": fast.snapshot()}}
+	e := Snapshot{Stages: map[string]StageSnapshot{"p": empty.snapshot()}}
+	merged := a.Merge(b).Merge(e)
+	if got := merged.Stages["p"].MinNS; got != int64(2*time.Millisecond) {
+		t.Fatalf("merged min = %d, want %d", got, int64(2*time.Millisecond))
+	}
+	if got := e.Merge(a).Stages["p"].MinNS; got != int64(9*time.Millisecond) {
+		t.Fatalf("empty-base merge min = %d, want %d", got, int64(9*time.Millisecond))
 	}
 }
 
@@ -213,49 +247,6 @@ func TestSnapshotMarkdown(t *testing.T) {
 	}
 	if co := r.Snapshot().CountersOnly(); len(co.Gauges)+len(co.Stages)+len(co.Histograms) != 0 {
 		t.Fatal("CountersOnly leaked non-counter sections")
-	}
-}
-
-func TestHandlerEndpoints(t *testing.T) {
-	r := NewRegistry()
-	r.Counter("hits").Add(3)
-	srv := httptest.NewServer(Handler(r))
-	defer srv.Close()
-
-	resp, err := http.Get(srv.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var snap Snapshot
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		t.Fatal(err)
-	}
-	if snap.Counters["hits"] != 3 {
-		t.Fatalf("/metrics counters = %v", snap.Counters)
-	}
-
-	for _, path := range []string{"/", "/metrics.md", "/debug/pprof/", "/debug/vars"} {
-		resp, err := http.Get(srv.URL + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		body, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("GET %s = %d", path, resp.StatusCode)
-		}
-		if len(body) == 0 {
-			t.Fatalf("GET %s returned empty body", path)
-		}
-	}
-	if resp, err := http.Get(srv.URL + "/nope"); err != nil {
-		t.Fatal(err)
-	} else {
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusNotFound {
-			t.Fatalf("unknown path = %d, want 404", resp.StatusCode)
-		}
 	}
 }
 

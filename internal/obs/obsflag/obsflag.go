@@ -7,6 +7,7 @@
 package obsflag
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +45,13 @@ func Start(cli string) (stop func()) {
 			fmt.Fprintf(os.Stderr, "%s: holding obs endpoint for %v\n", cli, *hold)
 			time.Sleep(*hold)
 		}
-		srv.Close()
+		// Graceful shutdown: a scrape racing the end of the hold window
+		// gets its response before the listener dies, with a bound so a
+		// stuck client cannot wedge CLI exit.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
 	}
 }

@@ -1,0 +1,116 @@
+package ptrace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Divergence locates the first difference between two canonical event
+// streams: the stream index, the (tag, packet) lifecycle it belongs to,
+// and the events from both sides (nil when one stream ended early).
+type Divergence struct {
+	// Index in the canonical streams where they first differ.
+	Index int
+	// Tag, Packet and Stage of the divergent event (taken from
+	// whichever side has one).
+	Tag    int32
+	Packet int32
+	Stage  Stage
+	// A and B are the divergent events; nil when that stream is short.
+	A, B *Event
+}
+
+// Diff compares two canonical streams (as returned by Recorder.Drain)
+// and returns the first divergence, or nil when they are identical.
+// Because the canonical order is a pure function of the run, the first
+// differing index is the first packet whose lifecycle diverged.
+func Diff(a, b []Event) *Divergence {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return &Divergence{Index: i, Tag: a[i].Tag, Packet: a[i].Packet, Stage: a[i].Stage, A: &a[i], B: &b[i]}
+		}
+	}
+	switch {
+	case len(a) > n:
+		return &Divergence{Index: n, Tag: a[n].Tag, Packet: a[n].Packet, Stage: a[n].Stage, A: &a[n]}
+	case len(b) > n:
+		return &Divergence{Index: n, Tag: b[n].Tag, Packet: b[n].Packet, Stage: b[n].Stage, B: &b[n]}
+	}
+	return nil
+}
+
+// Lifecycle extracts every event of one (tag, packet) lifecycle from a
+// canonical stream.
+func Lifecycle(events []Event, tag, packet int32) []Event {
+	var out []Event
+	for i := range events {
+		if events[i].Tag == tag && events[i].Packet == packet {
+			out = append(out, events[i])
+		}
+	}
+	return out
+}
+
+// eventLine renders one event for the explainer ("-" when missing).
+func eventLine(ev *Event) string {
+	if ev == nil {
+		return "(no event — stream ended)"
+	}
+	s := fmt.Sprintf("t=%dus %s %s", ev.TUS, ev.Proto, ev.Stage)
+	if ev.Detail != "" {
+		s += " " + ev.Detail
+	}
+	return s
+}
+
+// outcomeOf returns the lifecycle's final-outcome detail, or "?" when
+// the outcome stage is absent (e.g. rotated out of the ring).
+func outcomeOf(lc []Event) string {
+	for i := range lc {
+		if lc[i].Stage == StageOutcome {
+			return lc[i].Detail
+		}
+	}
+	return "?"
+}
+
+// Format renders the divergence as the explainer message the replay
+// gate and the fleet determinism tests print on mismatch: the first
+// divergent packet named by (packet, tag, stage) with both verdicts,
+// followed by the packet's full lifecycle from both streams.
+func (d *Divergence) Format(labelA string, a []Event, labelB string, b []Event) string {
+	if d == nil {
+		return ""
+	}
+	la := Lifecycle(a, d.Tag, d.Packet)
+	lb := Lifecycle(b, d.Tag, d.Packet)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "first divergence at event #%d: packet #%d, tag %d, stage %s: %q (%s) vs %q (%s)\n",
+		d.Index, d.Packet, d.Tag, d.Stage,
+		detailOf(d.A), labelA, detailOf(d.B), labelB)
+	fmt.Fprintf(&sb, "  outcome: %s (%s) vs %s (%s)\n", outcomeOf(la), labelA, outcomeOf(lb), labelB)
+	fmt.Fprintf(&sb, "  lifecycle (%s):\n", labelA)
+	for i := range la {
+		fmt.Fprintf(&sb, "    %s\n", eventLine(&la[i]))
+	}
+	fmt.Fprintf(&sb, "  lifecycle (%s):\n", labelB)
+	for i := range lb {
+		fmt.Fprintf(&sb, "    %s\n", eventLine(&lb[i]))
+	}
+	return sb.String()
+}
+
+// detailOf renders an event's stage detail for the headline line.
+func detailOf(ev *Event) string {
+	if ev == nil {
+		return "missing"
+	}
+	if ev.Detail == "" {
+		return ev.Stage.String()
+	}
+	return ev.Detail
+}

@@ -1,0 +1,28 @@
+package ptrace
+
+import "sync"
+
+// The last-drained stream, behind the obs HTTP endpoint /trace/last:
+// CLIs call SetLast after draining a run's recorder so a held -obs
+// endpoint (or a test) can fetch the flight recorder's contents without
+// a file in between.
+
+var (
+	lastMu sync.RWMutex
+	last   []Event
+)
+
+// SetLast publishes a drained stream as the process's most recent
+// trace. The slice is retained; callers must not mutate it afterwards.
+func SetLast(events []Event) {
+	lastMu.Lock()
+	last = events
+	lastMu.Unlock()
+}
+
+// Last returns the most recently published stream (nil when none).
+func Last() []Event {
+	lastMu.RLock()
+	defer lastMu.RUnlock()
+	return last
+}

@@ -12,8 +12,10 @@ import (
 type StageSnapshot struct {
 	// Count of recorded executions.
 	Count int64 `json:"count"`
-	// TotalNS and MaxNS accumulated over those executions.
+	// TotalNS, MinNS and MaxNS accumulated over those executions.
+	// MinNS is 0 when Count is 0 (no executions recorded).
 	TotalNS int64 `json:"total_ns"`
+	MinNS   int64 `json:"min_ns"`
 	MaxNS   int64 `json:"max_ns"`
 }
 
@@ -88,6 +90,10 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	}
 	for name, st := range o.Stages {
 		cur := out.Stages[name]
+		// An empty side has no minimum; take the other's, else the smaller.
+		if st.Count > 0 && (cur.Count == 0 || st.MinNS < cur.MinNS) {
+			cur.MinNS = st.MinNS
+		}
 		cur.Count += st.Count
 		cur.TotalNS += st.TotalNS
 		if st.MaxNS > cur.MaxNS {
@@ -115,9 +121,9 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 // snapshots of the same registry. It scopes one run's metrics inside a
 // long-lived process (the report generator uses it so cumulative
 // package-level counters render as per-run deltas). Counter and stage
-// deltas clamp at zero; stage MaxNS and gauges keep s's values (a
-// maximum and a level have no meaningful difference). Histogram buckets
-// subtract index-wise.
+// deltas clamp at zero; stage MinNS/MaxNS and gauges keep s's values
+// (extrema and levels have no meaningful difference). Histogram
+// buckets subtract index-wise.
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	out := s.clone()
 	for name, v := range prev.Counters {
@@ -198,11 +204,11 @@ func (s Snapshot) Markdown() string {
 		b.WriteString("\n")
 	}
 	if len(s.Stages) > 0 {
-		fmt.Fprintf(&b, "| stage | count | total | mean | max |\n|---|---|---|---|---|\n")
+		fmt.Fprintf(&b, "| stage | count | total | mean | min | max |\n|---|---|---|---|---|---|\n")
 		for _, name := range sortedKeys(s.Stages) {
 			st := s.Stages[name]
-			fmt.Fprintf(&b, "| %s | %d | %s | %s | %s |\n", name, st.Count,
-				fmtNS(st.TotalNS), fmtNS(st.MeanNS()), fmtNS(st.MaxNS))
+			fmt.Fprintf(&b, "| %s | %d | %s | %s | %s | %s |\n", name, st.Count,
+				fmtNS(st.TotalNS), fmtNS(st.MeanNS()), fmtNS(st.MinNS), fmtNS(st.MaxNS))
 		}
 		b.WriteString("\n")
 	}

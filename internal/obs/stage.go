@@ -14,6 +14,9 @@ type StageTimer struct {
 	count atomic.Int64
 	total atomic.Int64
 	max   atomic.Int64
+	// minP1 stores the minimum plus one so the zero value means
+	// "no observations yet" (a genuine 0 ns minimum stores 1).
+	minP1 atomic.Int64
 }
 
 // Observe records one execution of the stage.
@@ -27,6 +30,12 @@ func (t *StageTimer) Observe(d time.Duration) {
 	for {
 		old := t.max.Load()
 		if ns <= old || t.max.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	for {
+		old := t.minP1.Load()
+		if (old != 0 && ns+1 >= old) || t.minP1.CompareAndSwap(old, ns+1) {
 			return
 		}
 	}
@@ -54,11 +63,21 @@ func (t *StageTimer) Count() int64 { return t.count.Load() }
 // TotalNS returns the accumulated nanoseconds.
 func (t *StageTimer) TotalNS() int64 { return t.total.Load() }
 
+// MinNS returns the fastest recorded execution in nanoseconds (0 when
+// no executions have been recorded).
+func (t *StageTimer) MinNS() int64 {
+	if p1 := t.minP1.Load(); p1 > 0 {
+		return p1 - 1
+	}
+	return 0
+}
+
 // snapshot captures the timer's current state.
 func (t *StageTimer) snapshot() StageSnapshot {
 	return StageSnapshot{
 		Count:   t.count.Load(),
 		TotalNS: t.total.Load(),
+		MinNS:   t.MinNS(),
 		MaxNS:   t.max.Load(),
 	}
 }

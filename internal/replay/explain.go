@@ -1,0 +1,45 @@
+package replay
+
+import (
+	"fmt"
+
+	"multiscatter/internal/fleet"
+	"multiscatter/internal/obs"
+	"multiscatter/internal/obs/ptrace"
+)
+
+// ExplainFleetDivergence upgrades a "replay differs" failure into a
+// packet-level diagnosis: it re-runs cfg at two worker-pool sizes with
+// the flight recorder attached, diffs the canonical event streams, and
+// returns the first divergent packet with its full lifecycle from both
+// runs — "packet #N, tag T, stage channel: cross-collided vs clear".
+// It returns "" when the traced runs are identical (the divergence was
+// not schedule-dependent, or rotated out of the ring). The replay gate
+// (TestGoldenTrace) and the fleet determinism tests call it on
+// mismatch.
+func ExplainFleetDivergence(cfg fleet.Config, workersA, workersB int) (string, error) {
+	run := func(workers int) ([]ptrace.Event, error) {
+		c := cfg
+		c.Workers = workers
+		c.Obs = obs.NewRegistry()
+		c.Trace = ptrace.New(ptrace.Config{})
+		if _, err := fleet.Run(c); err != nil {
+			return nil, fmt.Errorf("replay: explain rerun (workers=%d): %w", workers, err)
+		}
+		return c.Trace.Drain(), nil
+	}
+	a, err := run(workersA)
+	if err != nil {
+		return "", err
+	}
+	b, err := run(workersB)
+	if err != nil {
+		return "", err
+	}
+	d := ptrace.Diff(a, b)
+	if d == nil {
+		return "", nil
+	}
+	return d.Format(fmt.Sprintf("workers=%d", workersA), a,
+		fmt.Sprintf("workers=%d", workersB), b), nil
+}

@@ -1,0 +1,71 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"multiscatter/internal/fleet"
+)
+
+// TestExplainCleanRunsAreSilent pins that the explainer returns the
+// empty string when the two pool sizes genuinely agree — it must never
+// invent a divergence.
+func TestExplainCleanRunsAreSilent(t *testing.T) {
+	why, err := ExplainFleetDivergence(GoldenConfig(2), 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if why != "" {
+		t.Fatalf("explainer reported a divergence on identical runs:\n%s", why)
+	}
+}
+
+// TestExplainNamesSeededDivergence forces a workers-dependent divergence
+// through fleet.DivergeHook and checks the explainer produces the
+// message the acceptance contract asks for: the first divergent packet
+// with its tag, stage, and both outcomes. Tag 19 is one of the two tags
+// close enough to a receiver to win contention, so flipping it to
+// cross-collided genuinely changes delivered packets.
+func TestExplainNamesSeededDivergence(t *testing.T) {
+	fleet.DivergeHook = func(workers, tag, packet int) bool {
+		return workers != 1 && tag == 19
+	}
+	defer func() { fleet.DivergeHook = nil }()
+
+	// The journal-level gate must see the drift too: that is what trips
+	// TestGoldenTrace and hands off to the explainer.
+	serial, err := RunGolden(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunGolden(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Diff(serial, parallel)) == 0 {
+		t.Fatal("seeded divergence did not change the journal")
+	}
+
+	why, err := ExplainFleetDivergence(GoldenConfig(1), 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if why == "" {
+		t.Fatal("explainer found no divergence despite the seeded hook")
+	}
+	for _, want := range []string{
+		"packet #",       // names the first divergent packet
+		"tag 19",         // the tag the hook targets
+		"stage channel",  // the stage where the flip lands
+		"cross-collided", // the forced outcome
+		"outcome:",       // both outcomes reported
+		"workers=1",      // both run labels appear
+		"workers=4",
+		"lifecycle (workers=1):",
+		"lifecycle (workers=4):",
+	} {
+		if !strings.Contains(why, want) {
+			t.Errorf("explanation missing %q:\n%s", want, why)
+		}
+	}
+}

@@ -54,6 +54,13 @@ func TestGoldenTrace(t *testing.T) {
 		for _, m := range Diff(serial, parallel) {
 			t.Error(m)
 		}
+		// Re-run with the flight recorder attached so the failure names
+		// the first divergent packet instead of just a drifted bucket.
+		if why, err := ExplainFleetDivergence(GoldenConfig(1), 1, runtime.NumCPU()*2); err != nil {
+			t.Logf("divergence explainer failed: %v", err)
+		} else if why != "" {
+			t.Log(why)
+		}
 		t.Fatal("journal differs between workers=1 and a parallel pool")
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"multiscatter/internal/energy"
 	"multiscatter/internal/excite"
 	"multiscatter/internal/obs"
+	"multiscatter/internal/obs/ptrace"
 	"multiscatter/internal/overlay"
 	"multiscatter/internal/radio"
 )
@@ -121,6 +122,11 @@ type Config struct {
 	BucketMS int
 	// Seed for reproducibility.
 	Seed int64
+	// Trace, when non-nil, records every sampled packet's lifecycle
+	// into the flight recorder (single shard, tag 0). Events carry
+	// sim-time only, so identically-seeded runs drain byte-identical
+	// streams; nil keeps the hot path to one pointer check per packet.
+	Trace *ptrace.Recorder
 }
 
 // ProtocolStats accumulates per-protocol accounting.
@@ -279,12 +285,37 @@ func Run(cfg Config) (*Result, error) {
 		return s
 	}
 
+	// The flight recorder sees the single tag as shard 0 / tag 0; every
+	// event is timestamped from the timeline, so the drained stream is
+	// a pure function of (seed, config).
+	cfg.Trace.Configure(1)
+	tr := cfg.Trace.Shard(0)
+
 	clock := time.Duration(0)
 	wasActive := harvester == nil || harvester.Active()
 	totalAwake, delivered := 0, 0
 	for i, e := range events {
 		s := stat(e.Protocol)
 		s.Packets++
+		traced := tr != nil && tr.Wants(int32(i))
+		rec := func(stage ptrace.Stage, detail string) {
+			tr.Record(ptrace.Event{
+				TUS: int64(e.Start / time.Microsecond),
+				Packet: int32(i), Proto: e.Protocol.String(),
+				Stage: stage, Detail: detail,
+			})
+		}
+		if traced {
+			air := ""
+			if collided[i] {
+				air = "air-collided"
+			}
+			tr.Record(ptrace.Event{
+				TUS: int64(e.Start / time.Microsecond), DurUS: int64(e.Duration / time.Microsecond),
+				Packet: int32(i), Proto: e.Protocol.String(),
+				Stage: ptrace.StageExcite, Detail: air,
+			})
+		}
 
 		// Advance the harvester to this packet's start.
 		if harvester != nil {
@@ -302,11 +333,18 @@ func Run(cfg Config) (*Result, error) {
 			}
 			if !harvester.Active() {
 				s.Outcomes[TagAsleep]++
+				if traced {
+					rec(ptrace.StageEnergy, "asleep")
+					rec(ptrace.StageOutcome, TagAsleep.String())
+				}
 				continue
 			}
 			// The backscatter operation itself consumes the packet's
 			// worth of active time.
 			harvester.Step(e.Duration.Seconds(), lux)
+			if traced {
+				rec(ptrace.StageEnergy, "awake")
+			}
 		}
 		totalAwake++
 
@@ -326,6 +364,28 @@ func Run(cfg Config) (*Result, error) {
 			return Delivered
 		}()
 		s.Outcomes[outcome]++
+		if traced {
+			// Reconstruct the stage verdicts from the outcome: the
+			// decision chain is fixed, so this is exactly the path the
+			// packet took.
+			switch outcome {
+			case Collided:
+				rec(ptrace.StageIdentify, "air-collision")
+			case Misidentified:
+				rec(ptrace.StageIdentify, "missed")
+			case Unsupported:
+				rec(ptrace.StageIdentify, "ok")
+			case LostDownlink:
+				rec(ptrace.StageIdentify, "ok")
+				rec(ptrace.StagePlan, mode.String())
+				rec(ptrace.StageDemod, "out-of-range")
+			case Delivered:
+				rec(ptrace.StageIdentify, "ok")
+				rec(ptrace.StagePlan, mode.String())
+				rec(ptrace.StageDemod, fmt.Sprintf("ok rssi=%.1fdBm", res.RSSIdBm[e.Protocol]))
+			}
+			rec(ptrace.StageOutcome, outcome.String())
+		}
 		if outcome != Delivered {
 			continue
 		}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"multiscatter/internal/excite"
+	"multiscatter/internal/obs/ptrace"
+)
+
+// TestSimTraceDeterministic pins the single-tag engine's flight
+// recorder: identically-seeded runs drain byte-identical JSONL, and the
+// outcome events agree with the aggregate accounting.
+func TestSimTraceDeterministic(t *testing.T) {
+	wifi := excite.NewWiFi11nSource()
+	wifi.PacketRate = 150
+	run := func() ([]byte, *Result) {
+		cfg := Config{
+			Sources: []excite.Source{wifi, excite.NewBLEAdvSource()},
+			Energy:  &EnergyConfig{Lux: 1.04e5, StartCharged: true, HarvestJitterPct: 0.1},
+			Span:    2 * time.Second,
+			Seed:    9,
+			Trace:   ptrace.New(ptrace.Config{}),
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ptrace.WriteJSONL(&buf, cfg.Trace.Drain()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), res
+	}
+	a, res := run()
+	b, _ := run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identically-seeded sim runs drained different trace bytes")
+	}
+	evs, err := ptrace.ReadJSONL(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := map[string]int{}
+	var excites int
+	for _, ev := range evs {
+		if ev.Tag != 0 || ev.Shard != 0 {
+			t.Fatalf("sim events must be tag 0 / shard 0: %+v", ev)
+		}
+		switch ev.Stage {
+		case ptrace.StageExcite:
+			excites++
+		case ptrace.StageOutcome:
+			outcomes[ev.Detail]++
+		}
+	}
+	var packets int
+	for _, s := range res.PerProtocol {
+		packets += s.Packets
+		for o, n := range s.Outcomes {
+			outcomes[o.String()] -= n
+		}
+	}
+	if excites != packets {
+		t.Fatalf("excite events = %d, run saw %d packets", excites, packets)
+	}
+	for o, d := range outcomes {
+		if d != 0 {
+			t.Fatalf("outcome %s: trace and aggregates disagree by %d", o, d)
+		}
+	}
+}

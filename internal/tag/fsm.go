@@ -73,6 +73,10 @@ type Controller struct {
 	// envelope rise without an identification (default: one extended
 	// window, 40 µs, plus margin).
 	DetectTimeout time.Duration
+	// Trace, when non-nil, observes every state transition with the
+	// controller clock at the moment of the switch. It feeds the flight
+	// recorder's lifecycle stream; leave nil for zero overhead.
+	Trace func(from, to State, at time.Duration)
 
 	state       State
 	stateSince  time.Duration
@@ -148,6 +152,9 @@ func (c *Controller) account(dt time.Duration) {
 }
 
 func (c *Controller) transition(s State) {
+	if c.Trace != nil && s != c.state {
+		c.Trace(c.state, s, c.now)
+	}
 	c.state = s
 	c.stateSince = c.now
 }

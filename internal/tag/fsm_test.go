@@ -39,6 +39,51 @@ func TestControllerLifecycle(t *testing.T) {
 	}
 }
 
+// TestControllerTraceHook pins the transition observer the flight
+// recorder hangs off: every genuine state switch is reported with the
+// controller clock, self-transitions are not, and a nil hook costs
+// nothing (the default path every engine run takes).
+func TestControllerTraceHook(t *testing.T) {
+	type hop struct {
+		from, to State
+		at       time.Duration
+	}
+	var hops []hop
+	c := NewController(2.5)
+	c.Trace = func(from, to State, at time.Duration) {
+		hops = append(hops, hop{from, to, at})
+	}
+	c.OnEnvelopeRise()
+	c.OnEnvelopeRise() // no-op: already detecting, must not re-report
+	c.Advance(40 * time.Microsecond)
+	c.OnIdentified()
+	c.Advance(500 * time.Microsecond)
+	c.OnCarrierEnd()
+	c.Advance(time.Millisecond)
+
+	want := []hop{
+		{Sleep, Detecting, 0},
+		{Detecting, Modulating, 40 * time.Microsecond},
+		{Modulating, Sleep, 540 * time.Microsecond},
+	}
+	if len(hops) != len(want) {
+		t.Fatalf("got %d transitions, want %d: %+v", len(hops), len(want), hops)
+	}
+	for i, w := range want {
+		if hops[i] != w {
+			t.Fatalf("transition %d = %+v, want %+v", i, hops[i], w)
+		}
+	}
+
+	// The detect timeout's internal transition reports too.
+	hops = nil
+	c.OnEnvelopeRise()
+	c.Advance(time.Millisecond)
+	if len(hops) != 2 || hops[1].to != Sleep || hops[1].at != hops[0].at+c.DetectTimeout {
+		t.Fatalf("timeout transitions = %+v", hops)
+	}
+}
+
 func TestControllerDetectTimeout(t *testing.T) {
 	c := NewController(2.5)
 	c.OnEnvelopeRise()
