@@ -5,12 +5,13 @@
 #   make replay-diff    golden-trace determinism gate (serial vs parallel fleet)
 #   make bench          fleet benchmarks at workers=1 and workers=NumCPU
 #   make bench-compare  msbench metrics vs committed BENCH_<date>.json baseline
+#   make profile        CPU+heap profile of BenchmarkFleet1000Tags, top-10 flat
 #   make obs-demo       short fleet run with the -obs endpoint up, scraped with curl
 #   make trace-demo     seeded fleet run exporting a Perfetto-loadable trace
 
 GO ?= go
 
-.PHONY: all build vet test race check replay-diff bench bench-compare obs-demo trace-demo
+.PHONY: all build vet test race check replay-diff bench bench-compare profile obs-demo trace-demo
 
 all: check
 
@@ -45,6 +46,17 @@ bench:
 # `go run ./cmd/msbench -json BENCH_$$(date +%F).json`.
 bench-compare:
 	sh scripts/bench_compare.sh
+
+# Profiles the 1000-tag fleet benchmark and prints the top-10 flat CPU
+# and heap consumers. Profiles land in /tmp for deeper digging with
+# `go tool pprof /tmp/fleet-cpu.prof`; see docs/OBSERVABILITY.md.
+profile:
+	$(GO) test -run - -bench 'BenchmarkFleet1000Tags' -benchtime 3x -benchmem \
+		-cpuprofile /tmp/fleet-cpu.prof -memprofile /tmp/fleet-mem.prof ./
+	@echo "-- top-10 flat CPU --"
+	$(GO) tool pprof -top -nodecount=10 /tmp/fleet-cpu.prof
+	@echo "-- top-10 flat heap (alloc_space) --"
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space /tmp/fleet-mem.prof
 
 # Runs a short fleet with the observability endpoint up, scrapes it, and
 # lets the run finish: a smoke test for -obs and a copy-paste example.

@@ -3,8 +3,6 @@ package channel
 import (
 	"math"
 	"math/rand"
-
-	"multiscatter/internal/dsp"
 )
 
 // Multipath is a tapped-delay-line channel: the received signal is the
@@ -63,10 +61,21 @@ func NewIndoorMultipath(rng *rand.Rand, spreadSec, rate float64) *Multipath {
 // Apply convolves iq with the channel taps, returning a new slice of the
 // same length (trailing echo truncated).
 func (m *Multipath) Apply(iq []complex128) []complex128 {
+	return m.ApplyInto(make([]complex128, len(iq)), iq)
+}
+
+// ApplyInto is the zero-alloc form of Apply: it convolves iq with the
+// channel taps into dst (which must have capacity for len(iq) samples and
+// must not alias iq) and returns the filled prefix.
+func (m *Multipath) ApplyInto(dst, iq []complex128) []complex128 {
+	out := dst[:len(iq)]
 	if len(m.Taps) == 0 {
-		return dsp.Clone(iq)
+		copy(out, iq)
+		return out
 	}
-	out := make([]complex128, len(iq))
+	for i := range out {
+		out[i] = 0
+	}
 	for d, tap := range m.Taps {
 		if tap == 0 {
 			continue

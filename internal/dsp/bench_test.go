@@ -1,6 +1,7 @@
 package dsp
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -27,6 +28,86 @@ func BenchmarkFFT1024(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		FFT(x)
+	}
+}
+
+// BenchmarkFFTPlanVsLegacy pits the planned transform against the legacy
+// direct implementation at the sizes the simulator uses (64 = one OFDM
+// symbol, 1024 = spectrum diagnostics).
+func BenchmarkFFTPlanVsLegacy(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		x := randomIQ(n, int64(n))
+		p := PlanFFT(n)
+		b.Run(fmt.Sprintf("plan-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.Forward(x)
+			}
+		})
+		b.Run(fmt.Sprintf("plan-split-%d", n), func(b *testing.B) {
+			re := make([]float64, n)
+			im := make([]float64, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.ForwardSplit(re, im)
+			}
+		})
+		b.Run(fmt.Sprintf("legacy-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fftDirect(x, false)
+			}
+		})
+	}
+}
+
+func BenchmarkFIRApplyInto(b *testing.B) {
+	f := NewLowpass(0.1, 63)
+	x := randomIQ(4096, 9)
+	dst := make([]complex128, len(x))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.ApplyInto(dst, x)
+	}
+}
+
+func BenchmarkEnvelopeInto(b *testing.B) {
+	x := randomIQ(4096, 10)
+	dst := make([]float64, len(x))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EnvelopeInto(dst, x)
+	}
+}
+
+func BenchmarkSlidingNormCorrInto(b *testing.B) {
+	src := randomIQ(800, 11)
+	x := make([]float64, len(src))
+	for i, v := range src {
+		x[i] = real(v)
+	}
+	tmpl := x[100:220:220]
+	dst := make([]float64, len(x)-len(tmpl)+1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SlidingNormCorrInto(dst, x, tmpl)
+	}
+}
+
+func BenchmarkUpsampleHoldInto(b *testing.B) {
+	x := randomIQ(512, 12)
+	dst := make([]complex128, len(x)*8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		UpsampleHoldInto(dst, x, 8)
+	}
+}
+
+func BenchmarkRotateZeroFreq(b *testing.B) {
+	x := randomIQ(4096, 13)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Rotate(x, 0, 20e6, 0.5)
 	}
 }
 

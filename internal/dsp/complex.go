@@ -90,11 +90,18 @@ func cmplxAbs(v complex128) float64 {
 
 // Envelope writes |x[i]| for each sample into a new float64 slice.
 func Envelope(x []complex128) []float64 {
-	env := make([]float64, len(x))
+	return EnvelopeInto(make([]float64, len(x)), x)
+}
+
+// EnvelopeInto writes |x[i]| into dst (which must have len(x) samples)
+// and returns dst. It is the zero-alloc form of Envelope for hot paths
+// that own a scratch buffer.
+func EnvelopeInto(dst []float64, x []complex128) []float64 {
+	dst = dst[:len(x)]
 	for i, v := range x {
-		env[i] = cmplxAbs(v)
+		dst[i] = cmplxAbs(v)
 	}
-	return env
+	return dst
 }
 
 // NormalizePower scales x in place so its mean power equals target.
@@ -139,6 +146,9 @@ func Rotate(x []complex128, freq, rate, phase0 float64) []complex128 {
 	if len(x) == 0 {
 		return x
 	}
+	if freq == 0 {
+		return rotateConstant(x, phase0)
+	}
 	step := 2 * math.Pi * freq / rate
 	// Use an incremental rotator; renormalize periodically to bound drift.
 	rot := complex(math.Cos(phase0), math.Sin(phase0))
@@ -147,6 +157,31 @@ func Rotate(x []complex128, freq, rate, phase0 float64) []complex128 {
 		x[i] *= rot
 		rot *= inc
 		if i&1023 == 1023 {
+			m := cmplxAbs(rot)
+			if m != 0 {
+				rot /= complex(m, 0)
+			}
+		}
+	}
+	return x
+}
+
+// rotateConstant is the freq == 0 early-out of Rotate: the increment is
+// exactly (1+0i), so the rotator stays constant between the periodic
+// renormalization points and each 1024-sample block reduces to a single
+// complex scale. The renormalization is replayed at the block boundaries
+// so the output is bit-identical to the general recurrence.
+func rotateConstant(x []complex128, phase0 float64) []complex128 {
+	rot := complex(math.Cos(phase0), math.Sin(phase0))
+	for start := 0; start < len(x); start += 1024 {
+		end := start + 1024
+		if end > len(x) {
+			end = len(x)
+		}
+		for i := start; i < end; i++ {
+			x[i] *= rot
+		}
+		if end == start+1024 {
 			m := cmplxAbs(rot)
 			if m != 0 {
 				rot /= complex(m, 0)

@@ -58,27 +58,45 @@ func SlidingNormCorr(x, template []float64) []float64 {
 	if m == 0 || len(x) < m {
 		return nil
 	}
+	return SlidingNormCorrInto(make([]float64, len(x)-m+1), x, template)
+}
+
+// SlidingNormCorrInto computes the sliding normalized correlation into
+// dst (which must have len(x)-len(template)+1 capacity) and returns the
+// filled slice, or nil if the template does not fit. The per-offset
+// accumulation order matches SlidingNormCorr exactly — the only change is
+// buffer reuse; an incremental energy update would reorder the float
+// summation and perturb gated outputs.
+func SlidingNormCorrInto(dst, x, template []float64) []float64 {
+	m := len(template)
+	if m == 0 || len(x) < m {
+		return nil
+	}
 	var et float64
 	for _, v := range template {
 		et += v * v
 	}
-	out := make([]float64, len(x)-m+1)
+	dst = dst[:len(x)-m+1]
 	if et == 0 {
-		return out
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
 	}
-	for off := range out {
+	for off := range dst {
+		win := x[off : off+m : off+m]
 		var dot, ex float64
-		for i := 0; i < m; i++ {
-			dot += x[off+i] * template[i]
-			ex += x[off+i] * x[off+i]
+		for i, v := range win {
+			dot += v * template[i]
+			ex += v * v
 		}
 		if ex == 0 {
-			out[off] = 0
+			dst[off] = 0
 			continue
 		}
-		out[off] = dot / math.Sqrt(ex*et)
+		dst[off] = dot / math.Sqrt(ex*et)
 	}
-	return out
+	return dst
 }
 
 // MaxFloat returns the maximum value of x and its index, or (0, -1) for an

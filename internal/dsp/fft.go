@@ -10,17 +10,38 @@ import (
 // transform of x. The length of x must be a power of two; FFT panics
 // otherwise, because a non-power-of-two length is a programming error in
 // this codebase (all OFDM symbol sizes are powers of two).
+//
+// FFT is a thin wrapper over the cached FFTPlan for len(x); repeated
+// transforms of one size reuse the plan's bit-reversal and twiddle
+// tables. Results are bit-identical to the legacy direct implementation
+// (kept below as fftDirect for equivalence tests and benchmarks).
 func FFT(x []complex128) {
-	fftInPlace(x, false)
+	if len(x) == 0 {
+		return
+	}
+	PlanFFT(len(x)).Forward(x)
 }
 
 // IFFT computes the in-place inverse FFT of x, including the 1/N scaling.
-// The length of x must be a power of two.
+// The length of x must be a power of two. Like FFT it dispatches to the
+// cached plan for len(x).
 func IFFT(x []complex128) {
-	fftInPlace(x, true)
-	n := complex(float64(len(x)), 0)
-	for i := range x {
-		x[i] /= n
+	if len(x) == 0 {
+		return
+	}
+	PlanFFT(len(x)).Inverse(x)
+}
+
+// fftDirect is the pre-plan implementation, retained as the reference for
+// the plan-equivalence tests and the FFTPlan-vs-legacy benchmarks. The
+// inverse path includes the 1/N scaling.
+func fftDirect(x []complex128, inverse bool) {
+	fftInPlace(x, inverse)
+	if inverse {
+		n := complex(float64(len(x)), 0)
+		for i := range x {
+			x[i] /= n
+		}
 	}
 }
 

@@ -1,0 +1,192 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// FFTPlan holds the precomputed state for radix-2 decimation-in-time
+// transforms of one size: the bit-reversal permutation and the per-stage
+// twiddle-factor tables, stored as split real/imag float64 slices.
+//
+// The twiddle tables are generated with the exact incremental recurrence
+// (w *= wstep) the direct transform uses, so a planned transform is
+// bit-identical to the legacy per-call implementation — a property the
+// golden traces and replay gate pin. Plans are immutable after
+// construction and safe for concurrent use.
+type FFTPlan struct {
+	n   int
+	rev []int32 // bit-reversal permutation (only entries with rev[i] > i swap)
+	// Twiddle factors for all stages, flattened in stage order
+	// (size = 2, 4, ..., n; each stage contributes size/2 factors,
+	// n-1 in total). fwd holds exp(-jθ) powers, inv holds exp(+jθ).
+	fwdRe, fwdIm []float64
+	invRe, invIm []float64
+}
+
+var planCache sync.Map // int -> *FFTPlan
+
+// PlanFFT returns the cached transform plan for length n, building it on
+// first use. n must be a power of two; PlanFFT panics otherwise, because a
+// non-power-of-two length is a programming error in this codebase (all
+// OFDM symbol sizes are powers of two).
+func PlanFFT(n int) *FFTPlan {
+	if v, ok := planCache.Load(n); ok {
+		return v.(*FFTPlan)
+	}
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	p := newFFTPlan(n)
+	actual, _ := planCache.LoadOrStore(n, p)
+	return actual.(*FFTPlan)
+}
+
+func newFFTPlan(n int) *FFTPlan {
+	p := &FFTPlan{
+		n:     n,
+		rev:   make([]int32, n),
+		fwdRe: make([]float64, n-1),
+		fwdIm: make([]float64, n-1),
+		invRe: make([]float64, n-1),
+		invIm: make([]float64, n-1),
+	}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		p.rev[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+	}
+	fillTwiddles(p.fwdRe, p.fwdIm, n, -1)
+	fillTwiddles(p.invRe, p.invIm, n, +1)
+	return p
+}
+
+// fillTwiddles reproduces the legacy incremental twiddle recurrence: for
+// each stage, w starts at 1 and is multiplied by wstep per butterfly. The
+// multiply is written out in components exactly as Go's complex128
+// multiply evaluates it, so every stored factor matches the value the
+// direct implementation would have computed on the fly.
+func fillTwiddles(dstRe, dstIm []float64, n int, sign float64) {
+	idx := 0
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		theta := sign * 2 * math.Pi / float64(size)
+		wsRe, wsIm := math.Cos(theta), math.Sin(theta)
+		wRe, wIm := 1.0, 0.0
+		for k := 0; k < half; k++ {
+			dstRe[idx], dstIm[idx] = wRe, wIm
+			idx++
+			wRe, wIm = wRe*wsRe-wIm*wsIm, wRe*wsIm+wIm*wsRe
+		}
+	}
+}
+
+// Len returns the transform size the plan was built for.
+func (p *FFTPlan) Len() int { return p.n }
+
+// Forward computes the in-place forward FFT of x. len(x) must equal the
+// plan size.
+func (p *FFTPlan) Forward(x []complex128) {
+	p.transform(x, p.fwdRe, p.fwdIm)
+}
+
+// Inverse computes the in-place inverse FFT of x including the 1/N
+// scaling. len(x) must equal the plan size.
+func (p *FFTPlan) Inverse(x []complex128) {
+	p.transform(x, p.invRe, p.invIm)
+	n := float64(p.n)
+	for i, v := range x {
+		x[i] = complex(real(v)/n, imag(v)/n)
+	}
+}
+
+// transform runs the shared butterfly schedule over interleaved
+// complex128 samples. The butterflies are written in explicit float64
+// component form — the same operations Go emits for complex multiply —
+// so results match the legacy implementation bit for bit.
+func (p *FFTPlan) transform(x []complex128, twRe, twIm []float64) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("dsp: FFTPlan size %d applied to length %d", n, len(x)))
+	}
+	for i, j := range p.rev {
+		if int(j) > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	idx := 0
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stRe := twRe[idx : idx+half]
+		stIm := twIm[idx : idx+half]
+		idx += half
+		for start := 0; start < n; start += size {
+			lo := x[start : start+half : start+half]
+			hi := x[start+half : start+size : start+size]
+			for k := 0; k < half; k++ {
+				wRe, wIm := stRe[k], stIm[k]
+				a := lo[k]
+				b := hi[k]
+				bRe, bIm := real(b), imag(b)
+				tRe := bRe*wRe - bIm*wIm
+				tIm := bRe*wIm + bIm*wRe
+				aRe, aIm := real(a), imag(a)
+				lo[k] = complex(aRe+tRe, aIm+tIm)
+				hi[k] = complex(aRe-tRe, aIm-tIm)
+			}
+		}
+	}
+}
+
+// ForwardSplit computes the in-place forward FFT over split real/imag
+// buffers. len(re) and len(im) must equal the plan size. The split form
+// lets batch callers keep deinterleaved float64 state and skip complex128
+// packing entirely.
+func (p *FFTPlan) ForwardSplit(re, im []float64) {
+	p.transformSplit(re, im, p.fwdRe, p.fwdIm)
+}
+
+// InverseSplit computes the in-place inverse FFT over split real/imag
+// buffers, including the 1/N scaling.
+func (p *FFTPlan) InverseSplit(re, im []float64) {
+	p.transformSplit(re, im, p.invRe, p.invIm)
+	n := float64(p.n)
+	for i := range re {
+		re[i] /= n
+		im[i] /= n
+	}
+}
+
+func (p *FFTPlan) transformSplit(re, im, twRe, twIm []float64) {
+	n := p.n
+	if len(re) != n || len(im) != n {
+		panic(fmt.Sprintf("dsp: FFTPlan size %d applied to split length %d/%d", n, len(re), len(im)))
+	}
+	for i, j := range p.rev {
+		if int(j) > i {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	idx := 0
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stRe := twRe[idx : idx+half]
+		stIm := twIm[idx : idx+half]
+		idx += half
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				i0 := start + k
+				i1 := i0 + half
+				wRe, wIm := stRe[k], stIm[k]
+				bRe, bIm := re[i1], im[i1]
+				tRe := bRe*wRe - bIm*wIm
+				tIm := bRe*wIm + bIm*wRe
+				aRe, aIm := re[i0], im[i0]
+				re[i0], im[i0] = aRe+tRe, aIm+tIm
+				re[i1], im[i1] = aRe-tRe, aIm-tIm
+			}
+		}
+	}
+}

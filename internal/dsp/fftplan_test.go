@@ -1,0 +1,294 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFFTPlanMatchesDirect pins the tentpole invariant: the planned
+// transforms are bit-identical to the legacy direct implementation for
+// every size the simulator uses.
+func TestFFTPlanMatchesDirect(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 128, 256, 1024} {
+		x := randomIQ(n, int64(100+n))
+
+		got := Clone(x)
+		FFT(got)
+		want := Clone(x)
+		fftDirect(want, false)
+		requireIdentical(t, "FFT", n, got, want)
+
+		got = Clone(x)
+		IFFT(got)
+		want = Clone(x)
+		fftDirect(want, true)
+		requireIdentical(t, "IFFT", n, got, want)
+	}
+}
+
+// TestFFTPlanSplitMatchesComplex checks the split real/imag kernel
+// against the interleaved one.
+func TestFFTPlanSplitMatchesComplex(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 512} {
+		x := randomIQ(n, int64(200+n))
+		re := make([]float64, n)
+		im := make([]float64, n)
+		for i, v := range x {
+			re[i], im[i] = real(v), imag(v)
+		}
+		p := PlanFFT(n)
+
+		want := Clone(x)
+		p.Forward(want)
+		p.ForwardSplit(re, im)
+		for i := range want {
+			if re[i] != real(want[i]) || im[i] != imag(want[i]) {
+				t.Fatalf("ForwardSplit n=%d bin %d: got (%v,%v) want %v", n, i, re[i], im[i], want[i])
+			}
+		}
+
+		p.InverseSplit(re, im)
+		p.Inverse(want)
+		for i := range want {
+			if re[i] != real(want[i]) || im[i] != imag(want[i]) {
+				t.Fatalf("InverseSplit n=%d bin %d: got (%v,%v) want %v", n, i, re[i], im[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTPlanRoundTrip(t *testing.T) {
+	x := randomIQ(256, 42)
+	y := Clone(x)
+	FFT(y)
+	IFFT(y)
+	for i := range x {
+		if math.Abs(real(y[i])-real(x[i])) > 1e-12 || math.Abs(imag(y[i])-imag(x[i])) > 1e-12 {
+			t.Fatalf("round trip diverged at %d: %v vs %v", i, y[i], x[i])
+		}
+	}
+}
+
+func TestFFTPlanCached(t *testing.T) {
+	if PlanFFT(64) != PlanFFT(64) {
+		t.Fatal("PlanFFT(64) returned distinct plans for the same size")
+	}
+}
+
+func TestPlanFFTPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PlanFFT(12) did not panic")
+		}
+	}()
+	PlanFFT(12)
+}
+
+func TestFFTZeroAlloc(t *testing.T) {
+	x := randomIQ(64, 7)
+	PlanFFT(64) // warm the cache
+	allocs := testing.AllocsPerRun(100, func() {
+		FFT(x)
+		IFFT(x)
+	})
+	if allocs != 0 {
+		t.Fatalf("FFT+IFFT allocated %v times per run; want 0", allocs)
+	}
+}
+
+// rotateReference is the pre-early-out Rotate, kept verbatim as the
+// equivalence oracle.
+func rotateReference(x []complex128, freq, rate, phase0 float64) []complex128 {
+	if len(x) == 0 {
+		return x
+	}
+	step := 2 * math.Pi * freq / rate
+	rot := complex(math.Cos(phase0), math.Sin(phase0))
+	inc := complex(math.Cos(step), math.Sin(step))
+	for i := range x {
+		x[i] *= rot
+		rot *= inc
+		if i&1023 == 1023 {
+			m := cmplxAbs(rot)
+			if m != 0 {
+				rot /= complex(m, 0)
+			}
+		}
+	}
+	return x
+}
+
+// TestRotateEquivalence checks both Rotate paths — the freq == 0
+// early-out (which replays the periodic renormalization so even the
+// drift-correction bits match) and the general recurrence — against the
+// old implementation.
+func TestRotateEquivalence(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		freq   float64
+		phase0 float64
+	}{
+		{"zero-freq-short", 100, 0, 0.7},
+		{"zero-freq-exact-block", 1024, 0, -1.3},
+		{"zero-freq-multi-block", 5000, 0, 2.1},
+		{"general", 5000, 1e5, 0.3},
+		{"negative-freq", 2048, -3e4, 0},
+	}
+	for _, tc := range cases {
+		x := randomIQ(tc.n, 99)
+		got := Clone(x)
+		want := Clone(x)
+		Rotate(got, tc.freq, 20e6, tc.phase0)
+		rotateReference(want, tc.freq, 20e6, tc.phase0)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: sample %d differs: %v vs %v", tc.name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFIRIntoMatchesLegacy pins ApplyFloatInto/ApplyInto (edge-split
+// loops) against a literal transcription of the old bounds-checked
+// implementation.
+func TestFIRIntoMatchesLegacy(t *testing.T) {
+	for _, taps := range []int{1, 3, 9, 63} {
+		f := NewLowpass(0.12, taps)
+		for _, n := range []int{1, 5, 64, 500} {
+			x := randomIQ(n, int64(taps*1000+n))
+			xf := make([]float64, n)
+			for i, v := range x {
+				xf[i] = real(v)
+			}
+
+			wantF := make([]float64, n)
+			delay := (len(f.Taps) - 1) / 2
+			for i := range wantF {
+				var acc float64
+				for k, tv := range f.Taps {
+					j := i + delay - k
+					if j >= 0 && j < len(xf) {
+						acc += tv * xf[j]
+					}
+				}
+				wantF[i] = acc
+			}
+			gotF := f.ApplyFloat(xf)
+			for i := range wantF {
+				if gotF[i] != wantF[i] {
+					t.Fatalf("ApplyFloat taps=%d n=%d sample %d: %v vs %v", taps, n, i, gotF[i], wantF[i])
+				}
+			}
+
+			wantC := make([]complex128, n)
+			for i := range wantC {
+				var accRe, accIm float64
+				for k, tv := range f.Taps {
+					j := i + delay - k
+					if j >= 0 && j < len(x) {
+						accRe += tv * real(x[j])
+						accIm += tv * imag(x[j])
+					}
+				}
+				wantC[i] = complex(accRe, accIm)
+			}
+			gotC := f.Apply(x)
+			for i := range wantC {
+				if gotC[i] != wantC[i] {
+					t.Fatalf("Apply taps=%d n=%d sample %d: %v vs %v", taps, n, i, gotC[i], wantC[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSlidingNormCorrIntoMatches(t *testing.T) {
+	rngIQ := randomIQ(300, 5)
+	x := make([]float64, len(rngIQ))
+	for i, v := range rngIQ {
+		x[i] = real(v)
+	}
+	tmpl := x[40:100:100]
+	want := SlidingNormCorr(x, tmpl)
+	dst := make([]float64, len(want))
+	got := SlidingNormCorrInto(dst, x, tmpl)
+	if len(got) != len(want) {
+		t.Fatalf("length mismatch: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("offset %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEnvelopeIntoMatches(t *testing.T) {
+	x := randomIQ(257, 11)
+	want := Envelope(x)
+	got := EnvelopeInto(make([]float64, len(x)), x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUpsampleHoldIntoMatches(t *testing.T) {
+	x := randomIQ(33, 13)
+	want := UpsampleHold(x, 7)
+	got := UpsampleHoldInto(make([]complex128, len(x)*7), x, 7)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	xf := make([]float64, len(x))
+	for i, v := range x {
+		xf[i] = real(v)
+	}
+	wantF := UpsampleHoldFloat(xf, 4)
+	gotF := UpsampleHoldFloatInto(make([]float64, len(xf)*4), xf, 4)
+	for i := range wantF {
+		if gotF[i] != wantF[i] {
+			t.Fatalf("float sample %d: %v vs %v", i, gotF[i], wantF[i])
+		}
+	}
+}
+
+func TestPoolRecycles(t *testing.T) {
+	// sync.Pool may legitimately drop items (the race detector does so
+	// randomly on purpose), so assert that recycling happens within a
+	// few attempts rather than on the first.
+	var p Pool
+	c := p.GetComplex(128)
+	if len(c) != 128 {
+		t.Fatalf("GetComplex length %d", len(c))
+	}
+	recycled := false
+	for i := 0; i < 100 && !recycled; i++ {
+		p.PutComplex(c[:128])
+		recycled = cap(p.GetComplex(64)) >= 128
+	}
+	if !recycled {
+		t.Fatal("complex pool never recycled a 128-cap buffer")
+	}
+	f := p.GetFloat(256)
+	recycled = false
+	for i := 0; i < 100 && !recycled; i++ {
+		p.PutFloat(f[:256])
+		recycled = cap(p.GetFloat(100)) >= 256
+	}
+	if !recycled {
+		t.Fatal("float pool never recycled a 256-cap buffer")
+	}
+}
+
+func requireIdentical(t *testing.T, op string, n int, got, want []complex128) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s n=%d bin %d: planned %v direct %v", op, n, i, got[i], want[i])
+		}
+	}
+}

@@ -93,40 +93,119 @@ func HalfSineTaps(sps int) []float64 {
 // slice of the same length (the group delay is removed so the output is
 // aligned with the input).
 func (f *FIR) ApplyFloat(x []float64) []float64 {
+	return f.ApplyFloatInto(make([]float64, len(x)), x)
+}
+
+// ApplyFloatInto convolves x into dst (which must not alias x and must
+// have len(x) capacity) and returns dst[:len(x)]. The interior of the
+// signal — where the full tap span fits — runs without per-tap bounds
+// checks; the edges keep the zero-padded behaviour of ApplyFloat. The
+// accumulation order is identical to ApplyFloat, so outputs match bit for
+// bit.
+func (f *FIR) ApplyFloatInto(dst, x []float64) []float64 {
 	taps := f.Taps
 	delay := (len(taps) - 1) / 2
-	out := make([]float64, len(x))
-	for i := range out {
-		var acc float64
-		for k, t := range taps {
-			j := i + delay - k
-			if j >= 0 && j < len(x) {
-				acc += t * x[j]
-			}
-		}
-		out[i] = acc
+	dst = dst[:len(x)]
+	// Interior range [lo, hi): every tap index j = i + delay - k stays in
+	// bounds, so the inner loop needs no clipping.
+	lo := len(taps) - 1 - delay
+	hi := len(x) - delay
+	if lo < 0 {
+		lo = 0
 	}
-	return out
+	if lo > len(x) {
+		lo = len(x)
+	}
+	if hi > len(x) {
+		hi = len(x)
+	}
+	if hi < lo {
+		hi = lo
+	}
+	for i := 0; i < lo; i++ {
+		dst[i] = f.edgeTapFloat(x, i, delay)
+	}
+	for i := lo; i < hi; i++ {
+		var acc float64
+		base := i + delay
+		for k, t := range taps {
+			acc += t * x[base-k]
+		}
+		dst[i] = acc
+	}
+	for i := hi; i < len(x); i++ {
+		dst[i] = f.edgeTapFloat(x, i, delay)
+	}
+	return dst
+}
+
+func (f *FIR) edgeTapFloat(x []float64, i, delay int) float64 {
+	var acc float64
+	for k, t := range f.Taps {
+		j := i + delay - k
+		if j >= 0 && j < len(x) {
+			acc += t * x[j]
+		}
+	}
+	return acc
 }
 
 // Apply convolves the complex signal x with the filter, returning a new
 // aligned slice of the same length.
 func (f *FIR) Apply(x []complex128) []complex128 {
+	return f.ApplyInto(make([]complex128, len(x)), x)
+}
+
+// ApplyInto convolves x into dst (which must not alias x and must have
+// len(x) capacity) and returns dst[:len(x)]. See ApplyFloatInto for the
+// interior/edge split; outputs are bit-identical to Apply.
+func (f *FIR) ApplyInto(dst, x []complex128) []complex128 {
 	taps := f.Taps
 	delay := (len(taps) - 1) / 2
-	out := make([]complex128, len(x))
-	for i := range out {
-		var accRe, accIm float64
-		for k, t := range taps {
-			j := i + delay - k
-			if j >= 0 && j < len(x) {
-				accRe += t * real(x[j])
-				accIm += t * imag(x[j])
-			}
-		}
-		out[i] = complex(accRe, accIm)
+	dst = dst[:len(x)]
+	lo := len(taps) - 1 - delay
+	hi := len(x) - delay
+	if lo < 0 {
+		lo = 0
 	}
-	return out
+	if lo > len(x) {
+		lo = len(x)
+	}
+	if hi > len(x) {
+		hi = len(x)
+	}
+	if hi < lo {
+		hi = lo
+	}
+	for i := 0; i < lo; i++ {
+		dst[i] = f.edgeTap(x, i, delay)
+	}
+	for i := lo; i < hi; i++ {
+		var accRe, accIm float64
+		base := i + delay
+		for k, t := range taps {
+			v := x[base-k]
+			accRe += t * real(v)
+			accIm += t * imag(v)
+		}
+		dst[i] = complex(accRe, accIm)
+	}
+	for i := hi; i < len(x); i++ {
+		dst[i] = f.edgeTap(x, i, delay)
+	}
+	return dst
+}
+
+func (f *FIR) edgeTap(x []complex128, i, delay int) complex128 {
+	var accRe, accIm float64
+	for k, t := range f.Taps {
+		j := i + delay - k
+		if j >= 0 && j < len(x) {
+			accRe += t * real(x[j])
+			accIm += t * imag(x[j])
+		}
+	}
+	return complex(accRe, accIm)
 }
 
 // MovingAverage smooths x with a boxcar of width w (clamped to >= 1),
@@ -157,13 +236,23 @@ func UpsampleHold(symbols []complex128, sps int) []complex128 {
 	if sps < 1 {
 		sps = 1
 	}
-	out := make([]complex128, len(symbols)*sps)
+	return UpsampleHoldInto(make([]complex128, len(symbols)*sps), symbols, sps)
+}
+
+// UpsampleHoldInto writes the zero-order hold of symbols into dst (which
+// must have len(symbols)*sps capacity) and returns the filled slice.
+func UpsampleHoldInto(dst, symbols []complex128, sps int) []complex128 {
+	if sps < 1 {
+		sps = 1
+	}
+	dst = dst[:len(symbols)*sps]
 	for i, s := range symbols {
-		for k := 0; k < sps; k++ {
-			out[i*sps+k] = s
+		run := dst[i*sps : (i+1)*sps]
+		for k := range run {
+			run[k] = s
 		}
 	}
-	return out
+	return dst
 }
 
 // UpsampleHoldFloat repeats each sample of x sps times.
@@ -171,11 +260,21 @@ func UpsampleHoldFloat(x []float64, sps int) []float64 {
 	if sps < 1 {
 		sps = 1
 	}
-	out := make([]float64, len(x)*sps)
+	return UpsampleHoldFloatInto(make([]float64, len(x)*sps), x, sps)
+}
+
+// UpsampleHoldFloatInto writes the zero-order hold of x into dst (which
+// must have len(x)*sps capacity) and returns the filled slice.
+func UpsampleHoldFloatInto(dst, x []float64, sps int) []float64 {
+	if sps < 1 {
+		sps = 1
+	}
+	dst = dst[:len(x)*sps]
 	for i, s := range x {
-		for k := 0; k < sps; k++ {
-			out[i*sps+k] = s
+		run := dst[i*sps : (i+1)*sps]
+		for k := range run {
+			run[k] = s
 		}
 	}
-	return out
+	return dst
 }

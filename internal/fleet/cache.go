@@ -198,6 +198,21 @@ func (c *linkCache) peek(p radio.Protocol, bucket int, mode overlay.Mode) linkEn
 	return c.compute(k)
 }
 
+// peekBits returns the packet-capacity entry for (p, dur, mode) without
+// touching the effectiveness counters — used to resolve per-tag capacity
+// tables after prefill. An uncached key is computed on the fly and not
+// stored.
+func (c *linkCache) peekBits(p radio.Protocol, dur time.Duration, mode overlay.Mode) (int, int) {
+	k := bitsKey{p, dur, mode}
+	c.mu.RLock()
+	e, ok := c.bits[k]
+	c.mu.RUnlock()
+	if ok {
+		return e.productive, e.tag
+	}
+	return sim.PacketBits(p, dur, mode)
+}
+
 // packetBits returns the cached overlay capacity of one packet.
 func (c *linkCache) packetBits(p radio.Protocol, dur time.Duration, mode overlay.Mode) (int, int) {
 	c.bitsLookups.Add(1)
@@ -217,6 +232,16 @@ func (c *linkCache) packetBits(p radio.Protocol, dur time.Duration, mode overlay
 	prod, tag := sim.PacketBits(p, dur, mode)
 	c.bits[k] = bitsEntry{productive: prod, tag: tag}
 	return prod, tag
+}
+
+// addLookups folds externally tallied hot-path traffic into the
+// effectiveness counters. The fleet phases read per-tag resolved entries
+// (no shared-map traffic at all) and tally locally; folding the tallies
+// here keeps CacheStats — and the fleet.cache.* metrics derived from it —
+// identical to the per-lookup atomic counting it replaces.
+func (c *linkCache) addLookups(link, bits int64) {
+	c.linkLookups.Add(link)
+	c.bitsLookups.Add(bits)
 }
 
 // stats snapshots the cache counters.

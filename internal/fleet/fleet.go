@@ -168,6 +168,14 @@ type contention struct {
 	secondRSSI float64
 }
 
+// durBits is one resolved packet-capacity row: the overlay bit counts of
+// a packet of the given on-air duration.
+type durBits struct {
+	dur        time.Duration
+	productive int
+	tag        int
+}
+
 // tagRun is the per-tag working state and partial result.
 type tagRun struct {
 	spec      TagSpec
@@ -178,6 +186,18 @@ type tagRun struct {
 	mode      overlay.Mode
 	supported [protocolSlots]bool
 	accuracy  [protocolSlots]float64
+
+	// linked holds the tag's calibrated working point per protocol,
+	// resolved once after the cache prefill: the parallel phases index
+	// this array instead of hashing cache keys behind a lock. bitsTab
+	// points at the tag mode's packet-capacity table, shared across tags.
+	linked  [protocolSlots]linkEntry
+	bitsTab *[protocolSlots][]durBits
+	// linkLookups/bitsLookups tally the hot-path cache traffic the
+	// resolved entries absorbed; folded into the cache counters before
+	// the reduce so CacheStats is unchanged by the optimization.
+	linkLookups int64
+	bitsLookups int64
 
 	// responses lists the timeline indices this tag backscattered
 	// (awake, clean, identified, supported).
@@ -355,6 +375,39 @@ func Run(cfg Config) (*Result, error) {
 			cache.fillBits(s.Protocol, s.PacketDuration, m)
 		}
 	}
+
+	// Resolve the prefilled working points into per-tag arrays and the
+	// packet capacities into one table per mode: the parallel phases then
+	// run on plain array/slice reads with no map hashing, locking or
+	// atomics. peek/peekBits leave the effectiveness counters untouched;
+	// the phases tally their traffic per tag and fold it back before the
+	// reduce.
+	bitsTabs := make(map[overlay.Mode]*[protocolSlots][]durBits, len(modes))
+	for m := range modes {
+		tab := &[protocolSlots][]durBits{}
+		for _, s := range cfg.Sources {
+			p := s.Protocol
+			known := false
+			for _, db := range tab[p] {
+				if db.dur == s.PacketDuration {
+					known = true
+					break
+				}
+			}
+			if known {
+				continue
+			}
+			prod, tag := cache.peekBits(p, s.PacketDuration, m)
+			tab[p] = append(tab[p], durBits{dur: s.PacketDuration, productive: prod, tag: tag})
+		}
+		bitsTabs[m] = tab
+	}
+	for _, t := range tags {
+		for _, p := range radio.Protocols {
+			t.linked[p] = cache.peek(p, t.bucket, t.mode)
+		}
+		t.bitsTab = bitsTabs[t.mode]
+	}
 	cfg.Obs.Stage("fleet.prefill").ObserveSince(tPrefill)
 
 	// Shard the fleet: a fixed partition (independent of Workers) so the
@@ -511,9 +564,10 @@ func Run(cfg Config) (*Result, error) {
 		cont[ri] = make([]contention, len(events))
 	}
 	for _, t := range tags {
+		t.linkLookups += int64(len(t.responses))
 		for _, ei := range t.responses {
 			p := events[ei].Protocol
-			rssi := cache.link(p, t.bucket, t.mode).RSSIdBm
+			rssi := t.linked[p].RSSIdBm
 			c := &cont[t.rx][ei]
 			c.count++
 			switch {
@@ -562,7 +616,8 @@ func Run(cfg Config) (*Result, error) {
 						t.trace1(tr, e, int(ei), ptrace.StageChannel, "clear")
 					}
 				}
-				entry := cache.link(p, t.bucket, t.mode)
+				t.linkLookups++
+				entry := t.linked[p]
 				if !entry.InRange {
 					t.counts[p][sim.LostDownlink]++
 					if traced {
@@ -579,7 +634,20 @@ func Run(cfg Config) (*Result, error) {
 					continue
 				}
 				t.counts[p][sim.Delivered]++
-				_, bits := cache.packetBits(p, e.Duration, t.mode)
+				bits := -1
+				for _, db := range t.bitsTab[p] {
+					if db.dur == e.Duration {
+						t.bitsLookups++
+						bits = db.tag
+						break
+					}
+				}
+				if bits < 0 {
+					// Duration absent from the resolved table (a source
+					// shape the prefill did not anticipate): fall back to
+					// the shared cache, which counts its own traffic.
+					_, bits = cache.packetBits(p, e.Duration, t.mode)
+				}
 				t.tagBits[p] += bits
 				if b := int(e.Start / bucketDur); b < len(t.buckets) {
 					t.buckets[b] += float64(bits)
@@ -592,6 +660,16 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}))
 	cfg.Obs.Stage("fleet.downlink").ObserveSince(tDownlink)
+
+	// Fold the per-tag cache-traffic tallies into the shared counters
+	// (serially, in tag-ID order) so CacheStats reports the same numbers
+	// the per-lookup counting used to.
+	var linkLookups, bitsLookups int64
+	for _, t := range tags {
+		linkLookups += t.linkLookups
+		bitsLookups += t.bitsLookups
+	}
+	cache.addLookups(linkLookups, bitsLookups)
 
 	tReduce := time.Now()
 	res, err := reduce(cfg, receivers, tags, len(events), exciteCollided, bucketDur, cache)

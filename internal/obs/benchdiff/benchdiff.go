@@ -95,6 +95,12 @@ type Report struct {
 	// Regressions is the subset of Deltas that fail the gate: gated
 	// metrics that dropped by more than Threshold.
 	Regressions []Delta
+	// Improvements is the subset of Deltas where a gated metric rose by
+	// more than Threshold. Improvements never fail the gate, but they are
+	// flagged loudly: a stale baseline sitting below current performance
+	// would silently absorb an equally large later regression, so the
+	// baseline should be regenerated when these appear.
+	Improvements []Delta
 	// Missing and Added name metrics present in only one document.
 	Missing, Added []string
 	// SettingsMismatch is non-empty when the two docs were generated
@@ -139,6 +145,9 @@ func Compare(base, fresh *Doc, threshold float64) *Report {
 			if d.Gated && d.Rel < -threshold {
 				r.Regressions = append(r.Regressions, d)
 			}
+			if d.Gated && d.Rel > threshold {
+				r.Improvements = append(r.Improvements, d)
+			}
 		}
 	}
 	for _, exp := range sortedKeys(fresh.Metrics) {
@@ -162,12 +171,15 @@ func (r *Report) Format() string {
 	if len(r.Deltas) == 0 && len(r.Missing) == 0 && len(r.Added) == 0 && r.SettingsMismatch == "" {
 		return "bench-compare: metrics identical to baseline\n"
 	}
-	fmt.Fprintf(&b, "bench-compare: %d metrics moved, %d regressions (gate: gated metrics dropping >%.0f%%)\n",
-		len(r.Deltas), len(r.Regressions), r.Threshold*100)
+	fmt.Fprintf(&b, "bench-compare: %d metrics moved, %d regressions, %d improvements (gate: gated metrics dropping >%.0f%%)\n",
+		len(r.Deltas), len(r.Regressions), len(r.Improvements), r.Threshold*100)
 	for _, d := range r.Deltas {
 		mark := " "
-		if d.Gated && d.Rel < -r.Threshold {
+		switch {
+		case d.Gated && d.Rel < -r.Threshold:
 			mark = "✗"
+		case d.Gated && d.Rel > r.Threshold:
+			mark = "↑"
 		}
 		fmt.Fprintf(&b, "%s %-45s %12.4g → %-12.4g (%+.1f%%)\n", mark, d.key(), d.Base, d.New, d.Rel*100)
 	}
@@ -176,6 +188,10 @@ func (r *Report) Format() string {
 	}
 	for _, name := range r.Added {
 		fmt.Fprintf(&b, "+ %-45s new metric (not in baseline)\n", name)
+	}
+	if len(r.Improvements) > 0 {
+		fmt.Fprintf(&b, "↑ %d gated metric(s) improved >%.0f%%: the baseline is stale — regenerate BENCH_<date>.json so later regressions are not masked\n",
+			len(r.Improvements), r.Threshold*100)
 	}
 	return b.String()
 }

@@ -67,8 +67,26 @@ func TestSmallDriftAndNonGatedDropPass(t *testing.T) {
 func TestGatedImprovementPasses(t *testing.T) {
 	fresh := doc()
 	fresh.Metrics["fig15"]["fleet_kbps"] *= 1.5
-	if r := Compare(doc(), fresh, 0.15); !r.OK() {
+	r := Compare(doc(), fresh, 0.15)
+	if !r.OK() {
 		t.Fatalf("improvement flagged as regression: %+v", r.Regressions)
+	}
+	// A >15% gated improvement must be flagged (stale baseline), with
+	// the refresh hint in the rendered report.
+	if len(r.Improvements) != 1 || r.Improvements[0].Metric != "fleet_kbps" {
+		t.Fatalf("improvements = %+v", r.Improvements)
+	}
+	if out := r.Format(); !strings.Contains(out, "↑") || !strings.Contains(out, "stale") {
+		t.Fatalf("format lacks improvement flag:\n%s", out)
+	}
+}
+
+func TestSmallImprovementNotFlagged(t *testing.T) {
+	fresh := doc()
+	fresh.Metrics["fig15"]["fleet_kbps"] *= 1.10 // +10% < 15% flag line
+	r := Compare(doc(), fresh, 0.15)
+	if !r.OK() || len(r.Improvements) != 0 {
+		t.Fatalf("small improvement flagged: %+v", r.Improvements)
 	}
 }
 

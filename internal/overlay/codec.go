@@ -79,8 +79,14 @@ var ErrNoSymbols = errors.New("overlay: carrier has no payload symbols")
 // units by π. The reference-symbol modulation may be DSSS-DBPSK,
 // DSSS-DQPSK or CCK 5.5 — BPSK-based tag modulation is compatible with
 // all of them (§2.4.2).
+//
+// The modulator and demodulator are created lazily and reused across
+// calls (they carry precomputed tables and scratch), so a codec is not
+// safe for concurrent use.
 type dsssCodec struct {
-	rate dsss.Rate
+	rate  dsss.Rate
+	mod   *dsss.Modulator
+	demod *dsss.Demodulator
 }
 
 func (*dsssCodec) Protocol() radio.Protocol { return radio.Protocol80211b }
@@ -119,8 +125,10 @@ func (c *dsssCodec) Build(plan *Plan) (*Carrier, error) {
 		prev = v
 	}
 	payload := radio.BitsToBytes(bits)
-	mod := dsss.NewModulator(c.cfg())
-	w, info := mod.Modulate(radio.Packet{Protocol: radio.Protocol80211b, Payload: payload})
+	if c.mod == nil {
+		c.mod = dsss.NewModulator(c.cfg())
+	}
+	w, info := c.mod.Modulate(radio.Packet{Protocol: radio.Protocol80211b, Payload: payload})
 	if info.NumSymbols() == 0 {
 		return nil, ErrNoSymbols
 	}
@@ -146,7 +154,10 @@ func (c *dsssCodec) Decode(carrier *Carrier) (Result, error) {
 	if !ok {
 		return Result{}, errors.New("overlay: dsss carrier state missing")
 	}
-	bits, err := dsss.NewDemodulator(c.cfg()).Demodulate(carrier.Waveform, info)
+	if c.demod == nil {
+		c.demod = dsss.NewDemodulator(c.cfg())
+	}
+	bits, err := c.demod.Demodulate(carrier.Waveform, info)
 	if err != nil {
 		return Result{}, err
 	}
@@ -193,7 +204,9 @@ func (c *dsssCodec) Decode(carrier *Carrier) (Result, error) {
 // of the subcarriers (the paper's §2.4.2 rule) and then compares units.
 // The subcarrier constellation may be BPSK, QPSK or 16-QAM (Figure 17b).
 type ofdmCodec struct {
-	mod ofdm.Modulation
+	mod      ofdm.Modulation
+	phyMod   *ofdm.Modulator
+	phyDemod *ofdm.Demodulator
 }
 
 func (*ofdmCodec) Protocol() radio.Protocol { return radio.Protocol80211n }
@@ -217,8 +230,10 @@ func (c *ofdmCodec) Build(plan *Plan) (*Carrier, error) {
 		}
 	}
 	payload := radio.BitsToBytes(bits)
-	mod := ofdm.NewModulator(c.cfg())
-	w, info := mod.Modulate(radio.Packet{Protocol: radio.Protocol80211n, Payload: payload})
+	if c.phyMod == nil {
+		c.phyMod = ofdm.NewModulator(c.cfg())
+	}
+	w, info := c.phyMod.Modulate(radio.Packet{Protocol: radio.Protocol80211n, Payload: payload})
 	if info.NumSymbols() == 0 {
 		return nil, ErrNoSymbols
 	}
@@ -244,7 +259,10 @@ func (c *ofdmCodec) Decode(carrier *Carrier) (Result, error) {
 	if !ok {
 		return Result{}, errors.New("overlay: ofdm carrier state missing")
 	}
-	bits, err := ofdm.NewDemodulator(c.cfg()).Demodulate(carrier.Waveform, info)
+	if c.phyDemod == nil {
+		c.phyDemod = ofdm.NewDemodulator(c.cfg())
+	}
+	bits, err := c.phyDemod.Demodulate(carrier.Waveform, info)
 	if err != nil {
 		return Result{}, err
 	}
@@ -275,7 +293,10 @@ func (c *ofdmCodec) Decode(carrier *Carrier) (Result, error) {
 // deviation double-sideband shift over a unit's samples to flip it.
 // Decoding majority-votes the interior bits of each unit (edge symbols
 // absorb the filter transient, as the paper observes).
-type bleCodec struct{}
+type bleCodec struct {
+	mod   *ble.Modulator
+	demod *ble.Demodulator
+}
 
 func (*bleCodec) Protocol() radio.Protocol { return radio.ProtocolBLE }
 
@@ -286,8 +307,10 @@ func (c *bleCodec) cfg() ble.Config {
 func (c *bleCodec) Build(plan *Plan) (*Carrier, error) {
 	bits := plan.SymbolValues()
 	payload := radio.BitsToBytes(bits)
-	mod := ble.NewModulator(c.cfg())
-	w, info := mod.Modulate(radio.Packet{Protocol: radio.ProtocolBLE, Payload: payload})
+	if c.mod == nil {
+		c.mod = ble.NewModulator(c.cfg())
+	}
+	w, info := c.mod.Modulate(radio.Packet{Protocol: radio.ProtocolBLE, Payload: payload})
 	if info.NumSymbols() == 0 {
 		return nil, ErrNoSymbols
 	}
@@ -317,7 +340,10 @@ func (c *bleCodec) Decode(carrier *Carrier) (Result, error) {
 	if !ok {
 		return Result{}, errors.New("overlay: ble carrier state missing")
 	}
-	bits, err := ble.NewDemodulator(c.cfg()).Demodulate(carrier.Waveform, info)
+	if c.demod == nil {
+		c.demod = ble.NewDemodulator(c.cfg())
+	}
+	bits, err := c.demod.Demodulate(carrier.Waveform, info)
 	if err != nil {
 		return Result{}, err
 	}
@@ -334,7 +360,10 @@ func (c *bleCodec) Decode(carrier *Carrier) (Result, error) {
 // tag flips units by π, which the commodity receiver's best-match
 // despreader decodes as a different (far) PN symbol — the comparison
 // against the reference unit recovers the tag bit.
-type zigbeeCodec struct{}
+type zigbeeCodec struct {
+	mod   *zigbee.Modulator
+	demod *zigbee.Demodulator
+}
 
 func (*zigbeeCodec) Protocol() radio.Protocol { return radio.ProtocolZigBee }
 
@@ -350,8 +379,10 @@ func (c *zigbeeCodec) Build(plan *Plan) (*Carrier, error) {
 	for i := range payload {
 		payload[i] = vals[2*i]&0x0F | vals[2*i+1]<<4
 	}
-	mod := zigbee.NewModulator(c.cfg())
-	w, info := mod.Modulate(radio.Packet{Protocol: radio.ProtocolZigBee, Payload: payload})
+	if c.mod == nil {
+		c.mod = zigbee.NewModulator(c.cfg())
+	}
+	w, info := c.mod.Modulate(radio.Packet{Protocol: radio.ProtocolZigBee, Payload: payload})
 	if info.NumSymbols() == 0 {
 		return nil, ErrNoSymbols
 	}
@@ -381,7 +412,10 @@ func (c *zigbeeCodec) Decode(carrier *Carrier) (Result, error) {
 	if !ok {
 		return Result{}, errors.New("overlay: zigbee carrier state missing")
 	}
-	syms, err := zigbee.NewDemodulator(c.cfg()).Demodulate(carrier.Waveform, info)
+	if c.demod == nil {
+		c.demod = zigbee.NewDemodulator(c.cfg())
+	}
+	syms, err := c.demod.Demodulate(carrier.Waveform, info)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,0 +1,28 @@
+package ble
+
+import (
+	"testing"
+
+	"multiscatter/internal/radio"
+)
+
+// TestDemodulateZeroAlloc pins the zero-alloc hot path: after the first
+// call sizes the demodulator's scratch, a steady-state Demodulate must
+// not touch the heap.
+func TestDemodulateZeroAlloc(t *testing.T) {
+	m := NewModulator(Config{})
+	d := NewDemodulator(Config{})
+	pkt := radio.Packet{Protocol: radio.ProtocolBLE, Payload: []byte{0xA5, 0x5A, 0x0F, 0xF0}}
+	w, info := m.Modulate(pkt)
+	if _, err := d.Demodulate(w, info); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := d.Demodulate(w, info); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Demodulate allocates %v/op, want 0", allocs)
+	}
+}

@@ -135,8 +135,10 @@ func (m *Modulator) Modulate(pkt radio.Packet) (radio.Waveform, *FrameInfo) {
 	rate := m.cfg.SampleRate()
 	bits := m.FrameBits(pkt)
 
-	// NRZ, upsample, Gaussian-shape, integrate phase.
-	nrz := make([]float64, len(bits))
+	// NRZ, upsample, Gaussian-shape, integrate phase. The intermediate
+	// stages live in pooled scratch; only the returned IQ escapes.
+	pool := &dsp.SharedPool
+	nrz := pool.GetFloat(len(bits))
 	for i, b := range bits {
 		if b == 1 {
 			nrz[i] = 1
@@ -144,8 +146,13 @@ func (m *Modulator) Modulate(pkt radio.Packet) (radio.Waveform, *FrameInfo) {
 			nrz[i] = -1
 		}
 	}
-	up := dsp.UpsampleHoldFloat(nrz, sps)
-	shaped := (&dsp.FIR{Taps: m.shaper}).ApplyFloat(up)
+	up := dsp.UpsampleHoldFloatInto(pool.GetFloat(len(bits)*sps), nrz, sps)
+	shaped := (&dsp.FIR{Taps: m.shaper}).ApplyFloatInto(pool.GetFloat(len(up)), up)
+	defer func() {
+		pool.PutFloat(nrz)
+		pool.PutFloat(up)
+		pool.PutFloat(shaped)
+	}()
 
 	iq := make([]complex128, len(shaped))
 	phase := 0.0
@@ -168,10 +175,18 @@ func (m *Modulator) Modulate(pkt radio.Packet) (radio.Waveform, *FrameInfo) {
 	return radio.Waveform{IQ: iq, Rate: rate}, info
 }
 
-// Demodulator recovers BLE bits from a frame-aligned waveform.
+// Demodulator recovers BLE bits from a frame-aligned waveform. It owns
+// reusable scratch buffers, so a steady-state Demodulate performs zero
+// heap allocations; it is not safe for concurrent use.
 type Demodulator struct {
 	cfg    Config
 	filter *dsp.FIR
+
+	// Scratch reused across calls: first call sizes them, steady state is
+	// allocation-free.
+	filtered []complex128
+	freq     []float64
+	bits     []byte
 }
 
 // NewDemodulator returns a demodulator matching cfg.
@@ -195,7 +210,9 @@ var ErrShortWaveform = errors.New("ble: waveform shorter than frame")
 var ErrCRC = errors.New("ble: CRC mismatch")
 
 // Demodulate recovers the de-whitened PDU bits (payload + 24 CRC bits)
-// from w using layout info.
+// from w using layout info. The returned slice aliases demodulator
+// scratch and is valid until the next Demodulate call; callers that
+// retain it must copy.
 func (d *Demodulator) Demodulate(w radio.Waveform, info *FrameInfo) ([]byte, error) {
 	obsDemodulated.Inc()
 	defer obsDemodulate.ObserveSince(time.Now())
@@ -204,10 +221,15 @@ func (d *Demodulator) Demodulate(w radio.Waveform, info *FrameInfo) ([]byte, err
 			return nil, ErrShortWaveform
 		}
 	}
-	filtered := d.filter.Apply(w.IQ)
-	freq := discriminate(filtered, w.Rate)
+	d.filtered = dsp.GrowComplex(d.filtered, len(w.IQ))
+	filtered := d.filter.ApplyInto(d.filtered, w.IQ)
+	d.freq = dsp.GrowFloat(d.freq, len(filtered))
+	freq := discriminateInto(d.freq, filtered, w.Rate)
 	sps := info.SamplesPerSymbol
-	bits := make([]byte, 0, info.NumSymbols())
+	if cap(d.bits) < info.NumSymbols() {
+		d.bits = make([]byte, 0, info.NumSymbols())
+	}
+	bits := d.bits[:0]
 	for _, start := range info.SymbolStart {
 		// Integrate the middle half of the symbol to dodge ISI at the
 		// Gaussian-shaped transitions.
@@ -229,6 +251,7 @@ func (d *Demodulator) Demodulate(w radio.Waveform, info *FrameInfo) ([]byte, err
 	if !d.cfg.NoWhitening {
 		radio.WhitenBLE(bits, d.cfg.channel())
 	}
+	d.bits = bits
 	return bits, nil
 }
 
@@ -256,13 +279,21 @@ func (d *Demodulator) DemodulatePacket(w radio.Waveform, info *FrameInfo) ([]byt
 // discriminate converts IQ samples to instantaneous frequency (Hz) via
 // the phase difference of consecutive samples.
 func discriminate(iq []complex128, rate float64) []float64 {
-	out := make([]float64, len(iq))
+	return discriminateInto(make([]float64, len(iq)), iq, rate)
+}
+
+// discriminateInto is the zero-alloc form of discriminate; dst must have
+// len(iq) capacity.
+func discriminateInto(dst []float64, iq []complex128, rate float64) []float64 {
+	out := dst[:len(iq)]
 	for i := 1; i < len(iq); i++ {
 		c := iq[i] * complex(real(iq[i-1]), -imag(iq[i-1]))
 		out[i] = math.Atan2(imag(c), real(c)) * rate / (2 * math.Pi)
 	}
 	if len(out) > 1 {
 		out[0] = out[1]
+	} else if len(out) == 1 {
+		out[0] = 0
 	}
 	return out
 }

@@ -1,0 +1,34 @@
+package dsss
+
+import (
+	"testing"
+
+	"multiscatter/internal/radio"
+)
+
+// TestDemodulateZeroAlloc pins the zero-alloc hot path for every rate:
+// after the first call sizes the demodulator's scratch (and seeds the
+// descrambler-state cache), a steady-state Demodulate must not touch the
+// heap.
+func TestDemodulateZeroAlloc(t *testing.T) {
+	for _, rate := range []Rate{Rate1Mbps, Rate2Mbps, Rate5_5Mbps, Rate11Mbps} {
+		t.Run(rate.String(), func(t *testing.T) {
+			cfg := Config{Rate: rate}
+			m := NewModulator(cfg)
+			d := NewDemodulator(cfg)
+			pkt := radio.Packet{Protocol: radio.Protocol80211b, Payload: []byte{0x5A, 0xC3, 0x0F, 0x96}}
+			w, info := m.Modulate(pkt)
+			if _, err := d.Demodulate(w, info); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := d.Demodulate(w, info); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state Demodulate allocates %v/op, want 0", allocs)
+			}
+		})
+	}
+}

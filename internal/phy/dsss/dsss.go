@@ -312,17 +312,24 @@ func (m *Modulator) Modulate(pkt radio.Packet) (radio.Waveform, *FrameInfo) {
 			emitBarker(phase)
 		}
 	case Rate5_5Mbps, Rate11Mbps:
+		table := cckTable(m.cfg.Rate)
 		even := true
 		for i := 0; i < len(payload); i += bps {
 			info.SymbolStart = append(info.SymbolStart, len(iq))
-			chunk := make([]byte, bps)
-			copy(chunk, payload[i:min(i+bps, len(payload))])
-			dphi, chips := cckChips(m.cfg.Rate, chunk, even)
+			cand := 0
+			for j := i; j < min(i+bps, len(payload)); j++ {
+				cand |= int(payload[j]) << uint(j-i)
+			}
+			c := &table[cand]
+			dphi := c.dphiEven
+			if !even {
+				dphi = c.dphiOdd
+			}
 			phase += dphi
 			re, im := math.Cos(phase), math.Sin(phase)
 			rot := complex(re, im)
-			for _, c := range chips {
-				v := c * rot
+			for _, ch := range c.chips {
+				v := ch * rot
 				for k := 0; k < spc; k++ {
 					iq = append(iq, v)
 				}
@@ -368,9 +375,50 @@ func dqpskDibit(dphi float64) (byte, byte) {
 	}
 }
 
+// cckCand is one precomputed CCK codeword candidate: the symbol bits it
+// encodes, the φ1 increments for even/odd symbols, and the 8-chip
+// codeword. The tables below are built once via cckChips, so every stored
+// value is bit-identical to what the per-call path used to compute.
+type cckCand struct {
+	bits     [8]byte
+	dphiEven float64
+	dphiOdd  float64
+	chips    [8]complex128
+}
+
+var (
+	cckTable5  = buildCCKTable(Rate5_5Mbps)
+	cckTable11 = buildCCKTable(Rate11Mbps)
+)
+
+func buildCCKTable(rate Rate) []cckCand {
+	bps := rate.BitsPerSymbol()
+	out := make([]cckCand, 1<<uint(bps))
+	for cand := range out {
+		c := &out[cand]
+		for i := 0; i < bps; i++ {
+			c.bits[i] = byte((cand >> uint(i)) & 1)
+		}
+		dphiE, chips := cckChips(rate, c.bits[:bps], true)
+		dphiO, _ := cckChips(rate, c.bits[:bps], false)
+		c.dphiEven = dphiE
+		c.dphiOdd = dphiO
+		copy(c.chips[:], chips)
+	}
+	return out
+}
+
+func cckTable(rate Rate) []cckCand {
+	if rate == Rate11Mbps {
+		return cckTable11
+	}
+	return cckTable5
+}
+
 // cckChips returns the DQPSK phase increment from the first dibit and the
 // 8-chip CCK codeword (relative to that phase) for one symbol. even selects
-// the even/odd symbol π offset of φ1 per the standard.
+// the even/odd symbol π offset of φ1 per the standard. It is the table
+// builder's reference; hot paths go through cckTable.
 func cckChips(rate Rate, bits []byte, even bool) (float64, []complex128) {
 	d := func(i int) byte {
 		if i < len(bits) {
@@ -429,8 +477,20 @@ func min(a, b int) int {
 }
 
 // Demodulator recovers 802.11b payload bits from a frame-aligned waveform.
+// It owns a reusable raw-bit buffer and caches the payload descrambler
+// seed state per payload length, so a steady-state Demodulate performs
+// zero heap allocations; it is not safe for concurrent use.
 type Demodulator struct {
 	cfg Config
+
+	raw []byte // scratch reused across calls
+
+	// Cached descrambler state at payload start for seedPayloadBytes-byte
+	// payloads (the state only depends on the config and the PLCP header,
+	// i.e. the payload length).
+	seeded           bool
+	seedPayloadBytes int
+	seedDes          radio.Scrambler80211b
 }
 
 // NewDemodulator returns a demodulator matching cfg.
@@ -469,7 +529,13 @@ func (d *Demodulator) Demodulate(w radio.Waveform, info *FrameInfo) ([]byte, err
 	// payload with a scrambler synchronized by feeding the last 7 raw
 	// payload-preceding bits. Since the demodulator knows the frame was
 	// built by Modulate, it re-derives those raw bits directly.
-	raw := make([]byte, 0, info.PayloadBits)
+	// The raw buffer may overshoot PayloadBits by one symbol before the
+	// final truncation.
+	bps := d.cfg.Rate.BitsPerSymbol()
+	if cap(d.raw) < info.PayloadBits+bps {
+		d.raw = make([]byte, 0, info.PayloadBits+bps)
+	}
+	raw := d.raw[:0]
 
 	// Reference phase: despread the final header symbol.
 	hdrSymLen := 11 * spc
@@ -512,36 +578,46 @@ func (d *Demodulator) Demodulate(w radio.Waveform, info *FrameInfo) ([]byte, err
 	if len(raw) > info.PayloadBits {
 		raw = raw[:info.PayloadBits]
 	}
+	d.raw = raw
 	if d.cfg.NoScramble {
 		return raw, nil
 	}
 
-	// Descramble: reproduce the transmit scrambler state at payload start
-	// by replaying the preamble and header generation.
-	m := Modulator{cfg: d.cfg}
-	scr := radio.NewScrambler80211b()
-	var sync []byte
-	var sfd uint16
-	if d.cfg.ShortPreamble {
-		sync = make([]byte, 56)
-		sfd = sfdShort
-	} else {
-		sync = make([]byte, 128)
-		for i := range sync {
-			sync[i] = 1
+	// Descramble with the transmit scrambler state at payload start. The
+	// state depends only on the config and the payload length, so it is
+	// derived once per length (by replaying the preamble and header
+	// generation) and replayed from a cached value copy afterwards.
+	pb := (info.PayloadBits + 7) / 8
+	if !d.seeded || d.seedPayloadBytes != pb {
+		m := Modulator{cfg: d.cfg}
+		scr := radio.NewScrambler80211b()
+		var sync []byte
+		var sfd uint16
+		if d.cfg.ShortPreamble {
+			sync = make([]byte, 56)
+			sfd = sfdShort
+		} else {
+			sync = make([]byte, 128)
+			for i := range sync {
+				sync[i] = 1
+			}
+			sfd = sfdLong
 		}
-		sfd = sfdLong
+		preRaw := scr.ScrambleBits(sync)
+		for i := 0; i < 16; i++ {
+			preRaw = append(preRaw, scr.Scramble(byte((sfd>>uint(i))&1)))
+		}
+		hdrRaw := m.headerBits(scr, pb)
+		// Seed a descrambler with the last raw bits before the payload.
+		des := radio.NewScrambler80211b()
+		resync := append(preRaw, hdrRaw...)
+		des.DescrambleBits(resync[len(resync)-16:])
+		d.seedDes = *des
+		d.seeded = true
+		d.seedPayloadBytes = pb
 	}
-	preRaw := scr.ScrambleBits(sync)
-	for i := 0; i < 16; i++ {
-		preRaw = append(preRaw, scr.Scramble(byte((sfd>>uint(i))&1)))
-	}
-	hdrRaw := m.headerBits(scr, (info.PayloadBits+7)/8)
-	// Seed a descrambler with the last raw bits before the payload.
-	des := radio.NewScrambler80211b()
-	resync := append(preRaw, hdrRaw...)
-	des.DescrambleBits(resync[len(resync)-16:])
-	return des.DescrambleBits(raw), nil
+	des := d.seedDes
+	return des.DescrambleBitsInPlace(raw), nil
 }
 
 // despreadBarker correlates one Barker symbol's samples against the Barker
@@ -574,22 +650,22 @@ func phaseDiff(cur, prev complex128) float64 {
 // the next differential reference).
 func cckDetect(rate Rate, sym []complex128, prev complex128, spc int, even bool) ([]byte, complex128) {
 	bps := rate.BitsPerSymbol()
-	n := 1 << uint(bps)
+	table := cckTable(rate)
 	bestMetric := math.Inf(-1)
 	var bestBits []byte
 	var bestStat complex128
 	prevPhase := math.Atan2(imag(prev), real(prev))
-	for cand := 0; cand < n; cand++ {
-		bits := make([]byte, bps)
-		for i := range bits {
-			bits[i] = byte((cand >> uint(i)) & 1)
+	for cand := range table {
+		c := &table[cand]
+		dphi := c.dphiEven
+		if !even {
+			dphi = c.dphiOdd
 		}
-		dphi, chips := cckChips(rate, bits, even)
 		theta := prevPhase + dphi
 		rot := complex(math.Cos(theta), math.Sin(theta))
 		var acc complex128
-		for i, c := range chips {
-			ref := c * rot
+		for i, ch := range c.chips {
+			ref := ch * rot
 			for k := 0; k < spc; k++ {
 				idx := i*spc + k
 				if idx < len(sym) {
@@ -600,7 +676,7 @@ func cckDetect(rate Rate, sym []complex128, prev complex128, spc int, even bool)
 		metric := real(acc)
 		if metric > bestMetric {
 			bestMetric = metric
-			bestBits = bits
+			bestBits = c.bits[:bps]
 			// φ1 statistic: the last chip of the codeword is e^{jφ1}.
 			bestStat = complex(math.Cos(theta), math.Sin(theta))
 		}

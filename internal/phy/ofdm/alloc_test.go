@@ -1,0 +1,33 @@
+package ofdm
+
+import (
+	"testing"
+
+	"multiscatter/internal/radio"
+)
+
+// TestDemodulateZeroAlloc pins the zero-alloc hot path: after the first
+// call sizes the demodulator's scratch, a steady-state Demodulate must
+// not touch the heap.
+func TestDemodulateZeroAlloc(t *testing.T) {
+	for _, mod := range []Modulation{BPSK, QPSK, QAM16} {
+		t.Run(mod.String(), func(t *testing.T) {
+			cfg := Config{Modulation: mod}
+			m := NewModulator(cfg)
+			d := NewDemodulator(cfg)
+			pkt := radio.Packet{Protocol: radio.Protocol80211n, Payload: []byte{0x0F, 0xF0, 0xA5, 0x5A, 0x33, 0xCC}}
+			w, info := m.Modulate(pkt)
+			if _, err := d.Demodulate(w, info); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := d.Demodulate(w, info); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state Demodulate allocates %v/op, want 0", allocs)
+			}
+		})
+	}
+}

@@ -195,16 +195,20 @@ func buildHTLTF() map[int]complex128 {
 	return m
 }
 
+// binIdx maps a signed subcarrier index to its FFT bin.
+func binIdx(k int) int {
+	if k < 0 {
+		return k + FFTSize
+	}
+	return k
+}
+
 // ofdmSymbol converts a frequency-domain map (subcarrier index → value)
 // into an 80-sample time-domain symbol with cyclic prefix.
 func ofdmSymbol(freq map[int]complex128) []complex128 {
 	bins := make([]complex128, FFTSize)
 	for k, v := range freq {
-		idx := k
-		if idx < 0 {
-			idx += FFTSize
-		}
-		bins[idx] = v
+		bins[binIdx(k)] = v
 	}
 	dsp.IFFT(bins)
 	// Scale so the average sample power is 1 regardless of occupancy:
@@ -219,14 +223,28 @@ func ofdmSymbol(freq map[int]complex128) []complex128 {
 	return out
 }
 
-// Modulator synthesizes 802.11n baseband frames.
+// Modulator synthesizes 802.11n baseband frames. The constant preamble
+// fields (L-STF core, L-LTF, L-SIG, HT-LTF) are synthesized once at
+// construction; per-packet work is the HT-SIG and the data symbols.
 type Modulator struct {
 	cfg Config
+
+	// Precomputed preamble material (immutable after construction).
+	stfCore []complex128 // 64-sample periodic L-STF/HT-STF core
+	ltf     []complex128 // 64-sample L-LTF long training symbol
+	lsig    []complex128 // 80-sample L-SIG symbol
+	htltf   []complex128 // 80-sample HT-LTF field
 }
 
 // NewModulator returns a modulator for cfg.
 func NewModulator(cfg Config) *Modulator {
-	return &Modulator{cfg: cfg}
+	m := &Modulator{cfg: cfg}
+	stf := ofdmSymbol(lstfSeq)
+	m.stfCore = stf[GuardSamples:]
+	m.ltf = ofdmSymbol(lltfSeq)[GuardSamples:]
+	m.lsig = m.signalSymbol(0x0F1234)
+	m.htltf = ofdmSymbol(htltfSeq)
+	return m
 }
 
 // Modulate synthesizes the frame for pkt and returns the waveform plus its
@@ -243,22 +261,20 @@ func (m *Modulator) Modulate(pkt radio.Packet) (radio.Waveform, *FrameInfo) {
 
 	// L-STF: two 8 µs periods built from a symbol with period 16; the
 	// standard transmits 10 repetitions of the 0.8 µs short symbol = 160
-	// samples.
-	stf := ofdmSymbol(lstfSeq)
-	// Periodic structure: take the 64-sample core and tile 160 samples.
-	core := stf[GuardSamples:]
+	// samples. The periodic 64-sample core was built at construction.
+	core := m.stfCore
 	for i := 0; i < 160; i++ {
 		iq = append(iq, core[i%FFTSize])
 	}
 	// L-LTF: 32-sample GI2 + two 64-sample long training symbols.
-	ltf := ofdmSymbol(lltfSeq)[GuardSamples:]
+	ltf := m.ltf
 	iq = append(iq, ltf[FFTSize-32:]...)
 	iq = append(iq, ltf...)
 	iq = append(iq, ltf...)
 	// L-SIG: one BPSK OFDM symbol carrying the legacy rate/length (we
 	// encode a fixed pattern; its exact contents are irrelevant to the
 	// simulation but its envelope matters for identification).
-	iq = append(iq, m.signalSymbol(0x0F1234)...)
+	iq = append(iq, m.lsig...)
 	info.LegacyEnd = len(iq)
 
 	// HT-SIG: two QBPSK symbols (BPSK on the imaginary axis).
@@ -270,11 +286,11 @@ func (m *Modulator) Modulate(pkt radio.Packet) (radio.Waveform, *FrameInfo) {
 		iq = append(iq, core[i%FFTSize])
 	}
 	// HT-LTF: one 4 µs long training field.
-	htltf := ofdmSymbol(htltfSeq)
-	iq = append(iq, htltf...)
+	iq = append(iq, m.htltf...)
 	info.PreambleEnd = len(iq)
 
-	// Data field.
+	// Data field: map each symbol's bits straight into a pooled bin
+	// scratch and append the time-domain samples.
 	bits := radio.BytesToBits(pkt.Payload)
 	info.PayloadBits = len(bits)
 	coded := bits
@@ -283,10 +299,12 @@ func (m *Modulator) Modulate(pkt radio.Packet) (radio.Waveform, *FrameInfo) {
 	}
 	bpsc := m.cfg.Modulation.BitsPerSubcarrier()
 	perSym := len(dataSubcarriers) * bpsc
+	bins := dsp.SharedPool.GetComplex(FFTSize)
+	defer dsp.SharedPool.PutComplex(bins)
 	for off := 0; off < len(coded); off += perSym {
 		chunk := coded[off:min(off+perSym, len(coded))]
 		info.SymbolStart = append(info.SymbolStart, len(iq))
-		iq = append(iq, m.dataSymbol(chunk, len(info.SymbolStart)-1)...)
+		iq = m.appendDataSymbol(iq, bins, chunk, len(info.SymbolStart)-1)
 	}
 	return radio.Waveform{IQ: iq, Rate: SampleRate}, info
 }
@@ -355,12 +373,18 @@ func pilotValue(sym int, k int) complex128 {
 	return complex(pol*base, 0)
 }
 
-// dataSymbol maps one symbol's worth of (coded) bits onto the 52 data
-// subcarriers and returns the 80-sample time-domain symbol.
-func (m *Modulator) dataSymbol(bits []byte, symIdx int) []complex128 {
-	freq := map[int]complex128{}
+// appendDataSymbol maps one symbol's worth of (coded) bits onto the 52
+// data subcarriers plus pilots, synthesizes the 80-sample time-domain
+// symbol in the bins scratch (len FFTSize) and appends it to iq. It
+// replaces the former map-based dataSymbol: the bins are filled directly
+// (pilot and data subcarriers are disjoint, so fill order is irrelevant)
+// and the occupancy is the constant 56 the map always reached.
+func (m *Modulator) appendDataSymbol(iq, bins []complex128, bits []byte, symIdx int) []complex128 {
+	for i := range bins {
+		bins[i] = 0
+	}
 	for _, k := range pilotSubcarriers {
-		freq[k] = pilotValue(symIdx+3, k)
+		bins[binIdx(k)] = pilotValue(symIdx+3, k)
 	}
 	bpsc := m.cfg.Modulation.BitsPerSubcarrier()
 	for i, k := range dataSubcarriers {
@@ -369,9 +393,14 @@ func (m *Modulator) dataSymbol(bits []byte, symIdx int) []complex128 {
 		if lo < len(bits) {
 			chunk = bits[lo:min(lo+bpsc, len(bits))]
 		}
-		freq[k] = mapConstellation(m.cfg.Modulation, chunk)
+		bins[binIdx(k)] = mapConstellation(m.cfg.Modulation, chunk)
 	}
-	return ofdmSymbol(freq)
+	dsp.IFFT(bins)
+	occ := float64(len(pilotSubcarriers) + len(dataSubcarriers))
+	dsp.Scale(bins, complex(float64(FFTSize)/math.Sqrt(occ), 0))
+	iq = append(iq, bins[FFTSize-GuardSamples:]...)
+	iq = append(iq, bins...)
+	return iq
 }
 
 // mapConstellation maps bits (LSB-first) to a constellation point with
@@ -431,6 +460,12 @@ func mapConstellation(mod Modulation, bits []byte) complex128 {
 
 // demapConstellation hard-slices a received point back to bits.
 func demapConstellation(mod Modulation, v complex128) []byte {
+	return appendDemap(nil, mod, v)
+}
+
+// appendDemap appends the hard-sliced bits of a received point to dst,
+// the allocation-free form of demapConstellation the demod loop uses.
+func appendDemap(dst []byte, mod Modulation, v complex128) []byte {
 	bit := func(x float64) byte {
 		if x >= 0 {
 			return 1
@@ -439,7 +474,7 @@ func demapConstellation(mod Modulation, v complex128) []byte {
 	}
 	switch mod {
 	case QPSK:
-		return []byte{bit(real(v)), bit(imag(v))}
+		return append(dst, bit(real(v)), bit(imag(v)))
 	case QAM16:
 		ax := func(x float64) (byte, byte) {
 			x *= math.Sqrt(10)
@@ -452,7 +487,7 @@ func demapConstellation(mod Modulation, v complex128) []byte {
 		}
 		h0, l0 := ax(real(v))
 		h1, l1 := ax(imag(v))
-		return []byte{h0, l0, h1, l1}
+		return append(dst, h0, l0, h1, l1)
 	case QAM64:
 		ax := func(x float64) (byte, byte, byte) {
 			x *= math.Sqrt(42)
@@ -472,15 +507,24 @@ func demapConstellation(mod Modulation, v complex128) []byte {
 		}
 		s0, a1, a0 := ax(real(v))
 		s1, b1, b0 := ax(imag(v))
-		return []byte{s0, a1, a0, s1, b1, b0}
+		return append(dst, s0, a1, a0, s1, b1, b0)
 	default:
-		return []byte{bit(real(v))}
+		return append(dst, bit(real(v)))
 	}
 }
 
 // Demodulator recovers 802.11n data bits from a frame-aligned waveform.
+// It owns reusable FFT and channel-estimate scratch, so a steady-state
+// uncoded Demodulate performs zero heap allocations; it is not safe for
+// concurrent use.
 type Demodulator struct {
 	cfg Config
+
+	// Scratch reused across calls.
+	bins  [FFTSize]complex128
+	chVal [FFTSize]complex128 // channel estimate by FFT bin
+	chOK  [FFTSize]bool
+	coded []byte
 }
 
 // NewDemodulator returns a demodulator matching cfg.
@@ -494,7 +538,9 @@ var ErrShortWaveform = errors.New("ofdm: waveform shorter than frame")
 
 // Demodulate equalizes against the HT-LTF and hard-demaps every data
 // symbol, returning the information bits (Viterbi-decoded when the config
-// is coded).
+// is coded). In the uncoded case the returned slice aliases demodulator
+// scratch and is valid until the next Demodulate call; callers that
+// retain it must copy.
 func (d *Demodulator) Demodulate(w radio.Waveform, info *FrameInfo) ([]byte, error) {
 	obsDemodulated.Inc()
 	defer obsDemodulate.ObserveSince(time.Now())
@@ -506,52 +552,58 @@ func (d *Demodulator) Demodulate(w radio.Waveform, info *FrameInfo) ([]byte, err
 			return nil, ErrShortWaveform
 		}
 	}
-	// Channel estimate from the HT-LTF (the last 80 preamble samples).
+	// Channel estimate from the HT-LTF (the last 80 preamble samples),
+	// held in flat per-bin arrays instead of a map.
 	ltfStart := info.PreambleEnd - SymbolSamples
-	est := fftOfSymbol(w.IQ[ltfStart : ltfStart+SymbolSamples])
-	chEst := map[int]complex128{}
+	est := fftOfSymbolInto(d.bins[:], w.IQ[ltfStart:ltfStart+SymbolSamples])
+	for i := range d.chOK {
+		d.chOK[i] = false
+	}
 	for k, ref := range htltfSeq {
-		idx := k
-		if idx < 0 {
-			idx += FFTSize
-		}
 		if ref != 0 {
-			chEst[k] = est[idx] / ref
+			idx := binIdx(k)
+			d.chVal[idx] = est[idx] / ref
+			d.chOK[idx] = true
 		}
 	}
+	// safeBin tolerates the out-of-band indices the fallback search can
+	// produce (|k| up to 31); those bins are never marked present, which
+	// matches the former map misses.
+	safeBin := func(k int) int { return ((k % FFTSize) + FFTSize) % FFTSize }
 	eq := func(k int, v complex128) complex128 {
-		h, ok := chEst[k]
-		if !ok || h == 0 {
+		idx := safeBin(k)
+		if !d.chOK[idx] || d.chVal[idx] == 0 {
 			// Fall back to nearest estimated subcarrier.
 			for dk := 1; dk < 4; dk++ {
-				if h2, ok2 := chEst[k-dk]; ok2 && h2 != 0 {
-					return v / h2
+				if i2 := safeBin(k - dk); d.chOK[i2] && d.chVal[i2] != 0 {
+					return v / d.chVal[i2]
 				}
-				if h2, ok2 := chEst[k+dk]; ok2 && h2 != 0 {
-					return v / h2
+				if i2 := safeBin(k + dk); d.chOK[i2] && d.chVal[i2] != 0 {
+					return v / d.chVal[i2]
 				}
 			}
 			return v
 		}
-		return v / h
+		return v / d.chVal[idx]
 	}
 
 	bpsc := d.cfg.Modulation.BitsPerSubcarrier()
-	coded := make([]byte, 0, info.NumSymbols()*len(dataSubcarriers)*bpsc)
+	if cap(d.coded) < info.NumSymbols()*len(dataSubcarriers)*bpsc {
+		d.coded = make([]byte, 0, info.NumSymbols()*len(dataSubcarriers)*bpsc)
+	}
+	coded := d.coded[:0]
 	for _, start := range info.SymbolStart {
-		bins := fftOfSymbol(w.IQ[start : start+SymbolSamples])
+		bins := fftOfSymbolInto(d.bins[:], w.IQ[start:start+SymbolSamples])
 		for _, k := range dataSubcarriers {
-			idx := k
-			if idx < 0 {
-				idx += FFTSize
-			}
-			coded = append(coded, demapConstellation(d.cfg.Modulation, eq(k, bins[idx]))...)
+			coded = appendDemap(coded, d.cfg.Modulation, eq(k, bins[binIdx(k)]))
 		}
 	}
+	d.coded = coded
 	if !d.cfg.Coded {
 		if len(coded) > info.PayloadBits {
 			coded = coded[:info.PayloadBits]
 		}
+		d.coded = coded
 		return coded, nil
 	}
 	motherLen := 2 * (info.PayloadBits + ConvTail)
@@ -589,7 +641,13 @@ func puncturedLen(n int, r CodeRate) int {
 // fftOfSymbol strips the guard interval and FFTs the 64-sample core,
 // undoing the modulator's power normalization.
 func fftOfSymbol(sym []complex128) []complex128 {
-	bins := make([]complex128, FFTSize)
+	return fftOfSymbolInto(make([]complex128, FFTSize), sym)
+}
+
+// fftOfSymbolInto is the zero-alloc form of fftOfSymbol; bins must have
+// FFTSize capacity and is returned filled.
+func fftOfSymbolInto(bins []complex128, sym []complex128) []complex128 {
+	bins = bins[:FFTSize]
 	copy(bins, sym[GuardSamples:])
 	dsp.FFT(bins)
 	// The modulator scaled by FFTSize/√occ; invert the round trip so a

@@ -1,0 +1,28 @@
+package zigbee
+
+import (
+	"testing"
+
+	"multiscatter/internal/radio"
+)
+
+// TestDemodulateZeroAlloc pins the zero-alloc hot path: after the first
+// call sizes the demodulator's scratch, a steady-state Demodulate must
+// not touch the heap.
+func TestDemodulateZeroAlloc(t *testing.T) {
+	m := NewModulator(Config{})
+	d := NewDemodulator(Config{})
+	pkt := radio.Packet{Protocol: radio.ProtocolZigBee, Payload: []byte{0x12, 0x34, 0xAB, 0xCD}}
+	w, info := m.Modulate(pkt)
+	if _, err := d.Demodulate(w, info); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := d.Demodulate(w, info); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Demodulate allocates %v/op, want 0", allocs)
+	}
+}

@@ -44,6 +44,49 @@ var pnBase = [ChipsPerSymbol]byte{
 // PN holds the 16 chip sequences indexed by symbol value.
 var PN = buildPN()
 
+// pnRef holds the 16 chip sequences as ±1.0 float64 templates, the form
+// the despreader correlates against — precomputed once so the demod loop
+// is a pure multiply-accumulate over tables.
+var pnRef = buildPNRef()
+
+func buildPNRef() [16][ChipsPerSymbol]float64 {
+	var out [16][ChipsPerSymbol]float64
+	for sym := range PN {
+		for i, c := range PN[sym] {
+			if c == 0 {
+				out[sym][i] = -1
+			} else {
+				out[sym][i] = 1
+			}
+		}
+	}
+	return out
+}
+
+// invertedSym[s] is the symbol at maximal chip Hamming distance from s —
+// the value a commodity receiver decodes after a π phase flip.
+var invertedSym = buildInvertedSym()
+
+func buildInvertedSym() [16]byte {
+	var out [16]byte
+	for sym := 0; sym < 16; sym++ {
+		best, bestDist := byte(0), -1
+		for cand := 0; cand < 16; cand++ {
+			d := 0
+			for i := 0; i < ChipsPerSymbol; i++ {
+				if PN[sym][i] != PN[cand][i] {
+					d++
+				}
+			}
+			if d > bestDist {
+				bestDist, best = d, byte(cand)
+			}
+		}
+		out[sym] = best
+	}
+	return out
+}
+
 func buildPN() [16][ChipsPerSymbol]byte {
 	var out [16][ChipsPerSymbol]byte
 	for sym := 0; sym < 8; sym++ {
@@ -104,12 +147,16 @@ func (f *FrameInfo) NumSymbols() int { return len(f.SymbolStart) }
 
 // Modulator synthesizes 802.15.4 baseband frames.
 type Modulator struct {
-	cfg Config
+	cfg      Config
+	halfSine []float64 // chip pulse, built once per modulator
 }
 
 // NewModulator returns a modulator for cfg.
 func NewModulator(cfg Config) *Modulator {
-	return &Modulator{cfg: cfg}
+	return &Modulator{
+		cfg:      cfg,
+		halfSine: dsp.HalfSineTaps(2 * cfg.spc()),
+	}
 }
 
 // symbolsOf splits data bytes into 4-bit symbols, low nibble first.
@@ -140,6 +187,7 @@ func (m *Modulator) Modulate(pkt radio.Packet) (radio.Waveform, *FrameInfo) {
 	symbols = append(symbols, symbolsOf(pkt.Payload)...)
 
 	// Build the chip stream.
+	pool := &dsp.SharedPool
 	chips := make([]byte, 0, len(symbols)*ChipsPerSymbol)
 	for _, s := range symbols {
 		chips = append(chips, PN[s][:]...)
@@ -147,10 +195,18 @@ func (m *Modulator) Modulate(pkt radio.Packet) (radio.Waveform, *FrameInfo) {
 
 	// O-QPSK with half-sine shaping: even chips on I, odd on Q, Q delayed
 	// by half a chip. Each chip's half-sine spans 2 chip periods.
-	halfSine := dsp.HalfSineTaps(2 * spc)
+	halfSine := m.halfSine
 	n := len(chips)*spc + spc // + half-chip tail for the offset Q
-	iSig := make([]float64, n)
-	qSig := make([]float64, n)
+	iSig := pool.GetFloat(n)
+	qSig := pool.GetFloat(n)
+	for i := range iSig {
+		iSig[i] = 0
+		qSig[i] = 0
+	}
+	defer func() {
+		pool.PutFloat(iSig)
+		pool.PutFloat(qSig)
+	}()
 	for idx, c := range chips {
 		v := 1.0
 		if c == 0 {
@@ -191,13 +247,21 @@ func (m *Modulator) Modulate(pkt radio.Packet) (radio.Waveform, *FrameInfo) {
 }
 
 // Demodulator recovers 802.15.4 symbols from a frame-aligned waveform.
+// It owns a precomputed chip matched filter and a reusable output buffer,
+// so a steady-state Demodulate performs zero heap allocations; it is not
+// safe for concurrent use.
 type Demodulator struct {
-	cfg Config
+	cfg  Config
+	half []float64     // chip matched filter, built once per demodulator
+	out  []DemodSymbol // scratch reused across calls
 }
 
 // NewDemodulator returns a demodulator matching cfg.
 func NewDemodulator(cfg Config) *Demodulator {
-	return &Demodulator{cfg: cfg}
+	return &Demodulator{
+		cfg:  cfg,
+		half: dsp.HalfSineTaps(2 * cfg.spc()),
+	}
 }
 
 // ErrShortWaveform is returned when the waveform cannot contain the frame.
@@ -213,7 +277,8 @@ type DemodSymbol struct {
 }
 
 // Demodulate despreads every payload symbol, returning the best-match
-// symbol decisions.
+// symbol decisions. The returned slice aliases demodulator scratch and is
+// valid until the next Demodulate call; callers that retain it must copy.
 func (d *Demodulator) Demodulate(w radio.Waveform, info *FrameInfo) ([]DemodSymbol, error) {
 	obsDemodulated.Inc()
 	defer obsDemodulate.ObserveSince(time.Now())
@@ -224,18 +289,18 @@ func (d *Demodulator) Demodulate(w radio.Waveform, info *FrameInfo) ([]DemodSymb
 			return nil, ErrShortWaveform
 		}
 	}
-	out := make([]DemodSymbol, 0, info.NumSymbols())
+	if cap(d.out) < info.NumSymbols() {
+		d.out = make([]DemodSymbol, 0, info.NumSymbols())
+	}
+	out := d.out[:0]
 	for _, start := range info.SymbolStart {
 		soft := d.despreadChips(w.IQ, start)
 		best, bestCorr := 0, math.Inf(-1)
 		for sym := 0; sym < 16; sym++ {
+			ref := &pnRef[sym]
 			var acc float64
-			for i, c := range PN[sym] {
-				ref := 1.0
-				if c == 0 {
-					ref = -1
-				}
-				acc += ref * soft[i]
+			for i := 0; i < ChipsPerSymbol; i++ {
+				acc += ref[i] * soft[i]
 			}
 			if acc > bestCorr {
 				bestCorr, best = acc, sym
@@ -251,6 +316,7 @@ func (d *Demodulator) Demodulate(w radio.Waveform, info *FrameInfo) ([]DemodSymb
 		}
 		out = append(out, DemodSymbol{Value: byte(best), Correlation: corr})
 	}
+	d.out = out
 	return out, nil
 }
 
@@ -259,7 +325,7 @@ func (d *Demodulator) Demodulate(w radio.Waveform, info *FrameInfo) ([]DemodSymb
 func (d *Demodulator) despreadChips(iq []complex128, start int) [ChipsPerSymbol]float64 {
 	spc := d.cfg.spc()
 	var soft [ChipsPerSymbol]float64
-	half := dsp.HalfSineTaps(2 * spc)
+	half := d.half
 	for idx := 0; idx < ChipsPerSymbol; idx++ {
 		var off int
 		useI := idx%2 == 0
@@ -303,17 +369,5 @@ func InvertedSymbol(sym byte) byte {
 	if sym > 15 {
 		panic(fmt.Sprintf("zigbee: symbol %d out of range", sym))
 	}
-	best, bestDist := byte(0), -1
-	for cand := 0; cand < 16; cand++ {
-		d := 0
-		for i := 0; i < ChipsPerSymbol; i++ {
-			if PN[sym][i] != PN[cand][i] {
-				d++
-			}
-		}
-		if d > bestDist {
-			bestDist, best = d, byte(cand)
-		}
-	}
-	return best
+	return invertedSym[sym]
 }

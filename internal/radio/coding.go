@@ -52,6 +52,16 @@ func (s *Scrambler80211b) DescrambleBits(bits []byte) []byte {
 	return out
 }
 
+// DescrambleBitsInPlace descrambles bits in place and returns bits. Safe
+// because each output bit depends only on the register state and the
+// input bit being replaced.
+func (s *Scrambler80211b) DescrambleBitsInPlace(bits []byte) []byte {
+	for i, b := range bits {
+		bits[i] = s.Descramble(b)
+	}
+	return bits
+}
+
 // WhitenBLE applies (or removes — the operation is an involution) BLE data
 // whitening to bits in place and returns bits. The whitener is the 7-bit
 // LFSR x^7 + x^4 + 1 seeded from the channel index with bit 6 forced to 1

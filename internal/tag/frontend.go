@@ -46,6 +46,12 @@ type FrontEnd struct {
 	// aliased chip-rate envelope content — the standard track-and-hold +
 	// RC behaviour of a real converter front end.
 	NoAntiAlias bool
+
+	// Anti-alias filter cache: the taps depend only on the input and ADC
+	// rates, so repeated Acquire calls at the same rates reuse the design.
+	aaFilter  *dsp.FIR
+	aaInRate  float64
+	aaADCRate float64
 }
 
 // NewFrontEnd returns the default acquisition chain at the given ADC rate.
@@ -68,15 +74,20 @@ func (f *FrontEnd) Acquire(iq []complex128, rate float64) []float64 {
 	env := f.envelope(iq, rate)
 	rect := f.Rectifier.Detect(env, rate)
 	if !f.NoAntiAlias && f.ADC.Rate < rate {
-		cutoff := 0.4 * f.ADC.Rate / rate
-		taps := int(2*rate/f.ADC.Rate) | 1
-		if taps < 9 {
-			taps = 9
+		if f.aaFilter == nil || f.aaInRate != rate || f.aaADCRate != f.ADC.Rate {
+			cutoff := 0.4 * f.ADC.Rate / rate
+			taps := int(2*rate/f.ADC.Rate) | 1
+			if taps < 9 {
+				taps = 9
+			}
+			if taps > 63 {
+				taps = 63
+			}
+			f.aaFilter = dsp.NewLowpass(cutoff, taps)
+			f.aaInRate = rate
+			f.aaADCRate = f.ADC.Rate
 		}
-		if taps > 63 {
-			taps = 63
-		}
-		rect = dsp.NewLowpass(cutoff, taps).ApplyFloat(rect)
+		rect = f.aaFilter.ApplyFloat(rect)
 	}
 	return f.ADC.Sample(rect, rate)
 }

@@ -99,7 +99,12 @@ func (m *Matcher) scoreAt(samples []float64, t *Template) float64 {
 	if n > len(samples) {
 		n = len(samples)
 	}
-	x := Preprocess(samples[:n], t.PreLen)
+	// Matchers are shared across identification workers, so scratch comes
+	// from the concurrency-safe shared pool rather than the struct.
+	pool := &dsp.SharedPool
+	buf := pool.GetFloat(n)
+	defer pool.PutFloat(buf)
+	x := PreprocessInto(buf, samples[:n], t.PreLen)
 	if len(x) == 0 {
 		return 0
 	}
@@ -110,12 +115,21 @@ func (m *Matcher) scoreAt(samples []float64, t *Template) float64 {
 	if !m.Cfg.Quantized {
 		return dsp.NormCorrFloat(x, tmpl)
 	}
-	qx := quantizeSigns(x)
+	qx := pool.GetInt8(len(x))
+	defer pool.PutInt8(qx)
+	quantizeSignsInto(qx, x)
 	return dsp.SignCorr(qx, t.Quantized[:len(qx)])
 }
 
 func quantizeSigns(x []float64) []int8 {
 	q := make([]int8, len(x))
+	quantizeSignsInto(q, x)
+	return q
+}
+
+// quantizeSignsInto writes the ±1 sign quantization of x into q
+// (len(q) must equal len(x)).
+func quantizeSignsInto(q []int8, x []float64) {
 	for i, v := range x {
 		if v >= 0 {
 			q[i] = 1
@@ -123,7 +137,6 @@ func quantizeSigns(x []float64) []int8 {
 			q[i] = -1
 		}
 	}
-	return q
 }
 
 // Scores computes the correlation against every template.

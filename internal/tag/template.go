@@ -131,12 +131,26 @@ func Preprocess(samples []float64, preLen int) []float64 {
 	if preLen >= len(samples) {
 		return nil
 	}
+	return PreprocessInto(make([]float64, len(samples)-preLen), samples, preLen)
+}
+
+// PreprocessInto is the zero-alloc form of Preprocess: dst must have
+// capacity for len(samples)−preLen values (preLen clamped to ≥ 1). It
+// returns the filled prefix of dst, or nil when the preprocessing window
+// covers the whole input.
+func PreprocessInto(dst, samples []float64, preLen int) []float64 {
+	if preLen < 1 {
+		preLen = 1
+	}
+	if preLen >= len(samples) {
+		return nil
+	}
 	mean := dsp.MeanFloat(samples[:preLen])
 	sd := dsp.StdDevFloat(samples[:preLen])
 	if sd <= 0 {
 		sd = 1
 	}
-	out := make([]float64, len(samples)-preLen)
+	out := dst[:len(samples)-preLen]
 	for i := range out {
 		out[i] = (samples[preLen+i] - mean) / sd
 	}
