@@ -8,10 +8,12 @@
 #   make profile        CPU+heap profile of BenchmarkFleet1000Tags, top-10 flat
 #   make obs-demo       short fleet run with the -obs endpoint up, scraped with curl
 #   make trace-demo     seeded fleet run exporting a Perfetto-loadable trace
+#   make serve-demo     msserve + msload end-to-end byte-identical smoke (scripts/serve_smoke.sh)
+#   make serve-smoke    alias for serve-demo
 
 GO ?= go
 
-.PHONY: all build vet test race check replay-diff bench bench-compare profile obs-demo trace-demo
+.PHONY: all build vet test race check replay-diff bench bench-compare profile obs-demo trace-demo serve-demo serve-smoke
 
 all: check
 
@@ -69,6 +71,15 @@ obs-demo:
 	echo "-- curl /debug/pprof/ --"; \
 	curl -s -o /dev/null -w "pprof index: %{http_code}\n" http://127.0.0.1:6060/debug/pprof/; \
 	wait
+
+# Starts msserve on an ephemeral port (race-built), drives it with
+# msload, and cmp-checks every job result against an msfleet -json run
+# with the same seed — the service reproducibility contract end to end,
+# plus a graceful SIGTERM drain check. See docs/SERVICE.md.
+serve-demo:
+	sh scripts/serve_smoke.sh
+
+serve-smoke: serve-demo
 
 # Produces a Perfetto-loadable flight-recorder trace from a seeded fleet
 # run: load /tmp/msfleet-trace.json at https://ui.perfetto.dev (or

@@ -19,11 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
-	"multiscatter/internal/channel"
 	"multiscatter/internal/clilog"
 	"multiscatter/internal/excite"
 	"multiscatter/internal/fleet"
@@ -31,6 +28,7 @@ import (
 	"multiscatter/internal/obs/obsflag"
 	"multiscatter/internal/obs/ptrace/traceflag"
 	"multiscatter/internal/replay"
+	"multiscatter/internal/serve"
 	"multiscatter/internal/sim"
 )
 
@@ -62,34 +60,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "msfleet:", err)
 		os.Exit(2)
 	}
-	w, h, err := parseFloor(*floor)
+	w, h, err := serve.ParseFloor(*floor)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "msfleet:", err)
 		os.Exit(2)
 	}
 
-	specs := fleet.PlaceGrid(*tags, w, h)
-	if *lux > 0 {
-		for i := range specs {
-			specs[i].Energy = &sim.EnergyConfig{Lux: *lux, StartCharged: true}
-		}
+	// The config is assembled by the same builder msserve jobs use, so a
+	// CLI run and a service job with the same (seed, config) are the
+	// same run by construction.
+	jc := serve.JobConfig{
+		Scenario:      *scenario,
+		Tags:          *tags,
+		FloorW:        w,
+		FloorH:        h,
+		Receivers:     *receivers,
+		SpanMS:        int(*span / time.Millisecond),
+		Seed:          *seed,
+		CaptureDB:     *capture,
+		BucketMS:      *bucketMS,
+		ShadowSigmaDB: *shadow,
+		Lux:           *lux,
 	}
-
-	cfg := fleet.Config{
-		Sources:   sc.Sources,
-		Tags:      specs,
-		Receivers: fleet.PlaceReceivers(*receivers, w, h),
-		Span:      *span,
-		BucketMS:  *bucketMS,
-		Seed:      *seed,
-		Workers:   *workers,
-		CaptureDB: *capture,
+	cfg, err := jc.FleetConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msfleet:", err)
+		os.Exit(2)
 	}
-	if *shadow > 0 {
-		ch := channel.NewLoS()
-		ch.ShadowSigmaDB = *shadow
-		cfg.Channel = ch
-	}
+	cfg.Workers = *workers
 
 	rec := traceflag.Recorder("msfleet")
 	cfg.Trace = rec
@@ -163,19 +161,4 @@ func main() {
 		}
 		fmt.Printf("\nreplay matches %s\n", *replayRef)
 	}
-}
-
-// parseFloor parses "30x50" into width and height in metres.
-func parseFloor(s string) (w, h float64, err error) {
-	parts := strings.SplitN(strings.ToLower(s), "x", 2)
-	if len(parts) != 2 {
-		return 0, 0, fmt.Errorf("bad -floor %q (want WxH, e.g. 30x50)", s)
-	}
-	if w, err = strconv.ParseFloat(parts[0], 64); err != nil || w <= 0 {
-		return 0, 0, fmt.Errorf("bad -floor width %q", parts[0])
-	}
-	if h, err = strconv.ParseFloat(parts[1], 64); err != nil || h <= 0 {
-		return 0, 0, fmt.Errorf("bad -floor height %q", parts[1])
-	}
-	return w, h, nil
 }

@@ -1,0 +1,209 @@
+// Command msload is the load generator and client for msserve: it
+// submits N deployment jobs (seeds base, base+1, …) with bounded
+// concurrency, waits on each NDJSON result stream, and reports
+// aggregate throughput. With -out it writes each job's result as
+// indented JSON byte-identical to `msfleet -json` for the same seed —
+// the property scripts/serve_smoke.sh checks with plain cmp.
+//
+// Usage:
+//
+//	msload [-server 127.0.0.1:8080] [-jobs 8] [-concurrency 4]
+//	       [-scenario office] [-tags 50] [-floor 30x50] [-receivers 1]
+//	       [-span 10s] [-seed 1] [-capture 10] [-bucket 500]
+//	       [-out dir] [-v] [-q]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"multiscatter/internal/clilog"
+	"multiscatter/internal/serve"
+)
+
+var (
+	server      = flag.String("server", "127.0.0.1:8080", "msserve address (host:port or URL)")
+	jobs        = flag.Int("jobs", 8, "number of jobs to submit")
+	concurrency = flag.Int("concurrency", 4, "in-flight request limit")
+	scenario    = flag.String("scenario", "office", "excitation scenario for every job")
+	tags        = flag.Int("tags", 50, "tags per job")
+	floor       = flag.String("floor", "30x50", "floor-plan size WxH in metres")
+	receivers   = flag.Int("receivers", 1, "receivers per job")
+	span        = flag.Duration("span", 10*time.Second, "simulated span per job")
+	seed        = flag.Int64("seed", 1, "base seed; job i uses seed+i")
+	capture     = flag.Float64("capture", 10, "capture margin in dB")
+	bucketMS    = flag.Int("bucket", 500, "throughput timeline bucket (ms)")
+	outDir      = flag.String("out", "", "write each result as <dir>/job-seed<seed>.json (msfleet -json format)")
+)
+
+// jobOutcome is what one submission produced.
+type jobOutcome struct {
+	seed    int64
+	err     error
+	wall    time.Duration
+	events  int
+	tagKbps float64
+}
+
+func main() {
+	flag.Parse()
+	lg := clilog.Setup("msload")
+
+	w, h, err := serve.ParseFloor(*floor)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msload:", err)
+		os.Exit(2)
+	}
+	base := *server
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "msload:", err)
+			os.Exit(1)
+		}
+	}
+
+	lg.Debug("submitting", "server", base, "jobs", *jobs, "concurrency", *concurrency)
+	t0 := time.Now()
+	sem := make(chan struct{}, max(1, *concurrency))
+	outcomes := make([]jobOutcome, *jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < *jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			jc := serve.JobConfig{
+				Scenario:  *scenario,
+				Tags:      *tags,
+				FloorW:    w,
+				FloorH:    h,
+				Receivers: *receivers,
+				SpanMS:    int(*span / time.Millisecond),
+				Seed:      *seed + int64(i),
+				CaptureDB: *capture,
+				BucketMS:  *bucketMS,
+			}
+			outcomes[i] = runJob(base, jc)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+
+	done, failed := 0, 0
+	var sumKbps float64
+	var totalEvents int
+	for _, oc := range outcomes {
+		if oc.err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "msload: seed %d: %v\n", oc.seed, oc.err)
+			continue
+		}
+		done++
+		sumKbps += oc.tagKbps
+		totalEvents += oc.events
+	}
+	fmt.Printf("msload: %d jobs (%d done, %d failed) in %v — %.1f jobs/s, %d packets, Σ fleet %.2f kbps\n",
+		*jobs, done, failed, wall.Round(time.Millisecond),
+		float64(done)/wall.Seconds(), totalEvents, sumKbps)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runJob submits one job with wait=1 and consumes its NDJSON stream.
+func runJob(base string, jc serve.JobConfig) jobOutcome {
+	oc := jobOutcome{seed: jc.Seed}
+	body, err := json.Marshal(jc)
+	if err != nil {
+		oc.err = err
+		return oc
+	}
+	t0 := time.Now()
+	resp, err := http.Post(base+"/jobs?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		oc.err = err
+		return oc
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg bytes.Buffer
+		msg.ReadFrom(resp.Body)
+		oc.err = fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(msg.String()))
+		return oc
+	}
+
+	var result json.RawMessage
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	for sc.Scan() {
+		var ev struct {
+			Event  string          `json:"event"`
+			State  string          `json:"state"`
+			Error  string          `json:"error"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			oc.err = fmt.Errorf("bad stream line %q: %v", sc.Text(), err)
+			return oc
+		}
+		switch ev.Event {
+		case "result":
+			result = ev.Result
+		case "error":
+			oc.err = fmt.Errorf("job %s: %s", ev.State, ev.Error)
+			return oc
+		}
+	}
+	if err := sc.Err(); err != nil {
+		oc.err = err
+		return oc
+	}
+	if result == nil {
+		oc.err = fmt.Errorf("stream ended without a result line")
+		return oc
+	}
+	oc.wall = time.Since(t0)
+
+	var summary struct {
+		Events       int     `json:"events"`
+		FleetTagKbps float64 `json:"fleet_tag_kbps"`
+	}
+	if err := json.Unmarshal(result, &summary); err != nil {
+		oc.err = err
+		return oc
+	}
+	oc.events = summary.Events
+	oc.tagKbps = summary.FleetTagKbps
+
+	if *outDir != "" {
+		// json.Indent is a whitespace-only transform, so the output is
+		// byte-identical to msfleet's json.MarshalIndent of the same
+		// result — the smoke test cmp depends on this.
+		var buf bytes.Buffer
+		if err := json.Indent(&buf, result, "", "  "); err != nil {
+			oc.err = err
+			return oc
+		}
+		buf.WriteByte('\n')
+		path := filepath.Join(*outDir, fmt.Sprintf("job-seed%d.json", jc.Seed))
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			oc.err = err
+			return oc
+		}
+	}
+	return oc
+}

@@ -16,6 +16,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -99,6 +100,18 @@ type Config struct {
 	// Workers sizes the worker pool (default runtime.GOMAXPROCS(0)).
 	// The result is identical for every value.
 	Workers int
+	// Pool, when non-nil, executes the run's shards on a shared worker
+	// pool instead of spawning Workers goroutines for this run alone —
+	// the multi-deployment service (internal/serve) points every job at
+	// one process-wide Pool. Workers is ignored when Pool is set. The
+	// result is identical either way.
+	Pool *Pool
+	// MaxEvents, when positive, is the run's packet budget: if the
+	// excitation timeline exceeds it the run fails up front with
+	// ErrBudget instead of simulating. The check is deterministic (the
+	// timeline depends only on Sources, Span and Seed), so admission
+	// control can rely on it.
+	MaxEvents int
 	// CaptureDB is the RSSI margin by which the strongest of several
 	// tags backscattering the same packet must beat the runner-up to be
 	// captured by the receiver (default 10 dB). Below the margin all
@@ -262,8 +275,19 @@ func detailDelivered(rssiDBm float64, bits int) string {
 	return string(strconv.AppendInt(b, int64(bits), 10))
 }
 
+// ErrBudget is returned (wrapped, with the actual counts) when a run
+// exceeds its Config.MaxEvents packet budget.
+var ErrBudget = fmt.Errorf("packet budget exceeded")
+
 // Run executes the fleet deployment.
-func Run(cfg Config) (*Result, error) {
+func Run(cfg Config) (*Result, error) { return RunContext(context.Background(), cfg) }
+
+// RunContext executes the fleet deployment under a context: when ctx is
+// cancelled the run aborts between shards and returns ctx's error. A
+// run that completes is unaffected by how it was scheduled — results
+// are byte-identical at any Workers value, with or without a shared
+// Pool.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if len(cfg.Sources) == 0 {
 		return nil, fmt.Errorf("fleet: no excitation sources")
 	}
@@ -292,7 +316,11 @@ func Run(cfg Config) (*Result, error) {
 		cfg.Obs = obs.Default()
 	}
 	defer cfg.Obs.Stage("fleet.run").ObserveSince(time.Now())
-	cfg.Obs.Gauge("fleet.workers").Set(float64(cfg.Workers))
+	if cfg.Pool != nil {
+		cfg.Obs.Gauge("fleet.workers").Set(float64(cfg.Pool.Size()))
+	} else {
+		cfg.Obs.Gauge("fleet.workers").Set(float64(cfg.Workers))
+	}
 	receivers := cfg.Receivers
 	if len(receivers) == 0 {
 		var cx, cy float64
@@ -310,6 +338,10 @@ func Run(cfg Config) (*Result, error) {
 	tTimeline := time.Now()
 	events := excite.Timeline(cfg.Sources, cfg.Span, sim.SeedRNG(cfg.Seed, sim.StreamFleetTimeline))
 	cfg.Obs.Stage("fleet.timeline").ObserveSince(tTimeline)
+	if cfg.MaxEvents > 0 && len(events) > cfg.MaxEvents {
+		return nil, fmt.Errorf("fleet: timeline has %d packets, budget %d: %w",
+			len(events), cfg.MaxEvents, ErrBudget)
+	}
 	collided := excite.CollisionFlags(events)
 	exciteCollided := 0
 	for _, c := range collided {
@@ -449,7 +481,7 @@ func Run(cfg Config) (*Result, error) {
 	// Phase 1 — identification: every tag classifies every packet
 	// (asleep / collided / misidentified / unsupported / responds).
 	tIdentify := time.Now()
-	runShards(cfg.Workers, numShards, shardObs(func(shard int) {
+	runShards(ctx, cfg.Pool, cfg.Workers, numShards, shardObs(func(shard int) {
 		rng := sim.SeedRNG(cfg.Seed+int64(shard), sim.StreamFleetShard)
 		tr := cfg.Trace.Shard(shard)
 		for _, t := range shardTags[shard] {
@@ -552,6 +584,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}))
 	cfg.Obs.Stage("fleet.identify").ObserveSince(tIdentify)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: run aborted: %w", err)
+	}
 
 	// Merge — cross-tag contention: serial, in tag-ID order, so RSSI
 	// ties resolve to the lowest tag ID deterministically. Two tags
@@ -587,7 +622,7 @@ func Run(cfg Config) (*Result, error) {
 	// Phase 2 — downlink: winners of the contention deliver their
 	// overlay bits if the calibrated link sustains them.
 	tDownlink := time.Now()
-	runShards(cfg.Workers, numShards, shardObs(func(shard int) {
+	runShards(ctx, cfg.Pool, cfg.Workers, numShards, shardObs(func(shard int) {
 		rng := sim.SeedRNG(cfg.Seed+int64(shard), sim.StreamFleetDownlink)
 		tr := cfg.Trace.Shard(shard)
 		for _, t := range shardTags[shard] {
@@ -660,6 +695,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}))
 	cfg.Obs.Stage("fleet.downlink").ObserveSince(tDownlink)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: run aborted: %w", err)
+	}
 
 	// Fold the per-tag cache-traffic tallies into the shared counters
 	// (serially, in tag-ID order) so CacheStats reports the same numbers
@@ -680,16 +718,31 @@ func Run(cfg Config) (*Result, error) {
 	return res, err
 }
 
-// runShards executes fn(shard) for every shard on a pool of workers
-// (sync.WaitGroup + channel). Each shard's work is self-contained, so
-// scheduling order cannot influence results.
-func runShards(workers, shards int, fn func(shard int)) {
+// runShards executes fn(shard) for every shard — on the shared pool
+// when one is given, else on a private pool of workers (sync.WaitGroup
+// + channel). Each shard's work is self-contained, so scheduling order
+// cannot influence results. Once ctx is cancelled the remaining shards
+// are skipped; the caller detects the abort via ctx.Err.
+func runShards(ctx context.Context, pool *Pool, workers, shards int, fn func(shard int)) {
+	run := fn
+	if ctx.Done() != nil {
+		run = func(s int) {
+			if ctx.Err() != nil {
+				return
+			}
+			fn(s)
+		}
+	}
+	if pool != nil {
+		pool.Run(shards, run)
+		return
+	}
 	if workers > shards {
 		workers = shards
 	}
 	if workers <= 1 {
 		for s := 0; s < shards; s++ {
-			fn(s)
+			run(s)
 		}
 		return
 	}
@@ -700,7 +753,7 @@ func runShards(workers, shards int, fn func(shard int)) {
 		go func() {
 			defer wg.Done()
 			for s := range next {
-				fn(s)
+				run(s)
 			}
 		}()
 	}

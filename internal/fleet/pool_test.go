@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"multiscatter/internal/excite"
+	"multiscatter/internal/obs"
+)
+
+// poolTestConfig is a small two-protocol deployment used by the shared
+// pool and cancellation tests.
+func poolTestConfig(seed int64) Config {
+	wifi := excite.NewWiFi11nSource()
+	wifi.PacketRate = 200
+	ble := excite.NewBLEAdvSource()
+	return Config{
+		Sources:   []excite.Source{wifi, ble},
+		Tags:      PlaceGrid(24, 12, 18),
+		Receivers: PlaceReceivers(2, 12, 18),
+		Span:      2 * time.Second,
+		Seed:      seed,
+		Obs:       obs.NewRegistry(),
+	}
+}
+
+// TestPoolMatchesPrivateWorkers pins the service determinism contract:
+// running on a shared Pool — even many runs concurrently — produces
+// byte-identical results to a run owning its workers.
+func TestPoolMatchesPrivateWorkers(t *testing.T) {
+	seeds := []int64{1, 7, 42, 1001}
+	want := make([][]byte, len(seeds))
+	for i, seed := range seeds {
+		cfg := poolTestConfig(seed)
+		cfg.Workers = 1
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = blob
+	}
+
+	pool := NewPool(4)
+	defer pool.Close()
+	var wg sync.WaitGroup
+	got := make([][]byte, len(seeds))
+	errs := make([]error, len(seeds))
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			cfg := poolTestConfig(seed)
+			cfg.Pool = pool
+			res, err := RunContext(context.Background(), cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i], errs[i] = json.Marshal(res)
+		}(i, seed)
+	}
+	wg.Wait()
+	for i, seed := range seeds {
+		if errs[i] != nil {
+			t.Fatalf("seed %d on pool: %v", seed, errs[i])
+		}
+		if string(got[i]) != string(want[i]) {
+			t.Errorf("seed %d: pooled run diverged from private-worker run", seed)
+		}
+	}
+}
+
+// TestPoolReuseAcrossRuns runs the same config twice on one pool and
+// expects identical results — the pool holds no per-run state.
+func TestPoolReuseAcrossRuns(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	var blobs [2][]byte
+	for i := range blobs {
+		cfg := poolTestConfig(9)
+		cfg.Pool = pool
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs[i], _ = json.Marshal(res)
+	}
+	if string(blobs[0]) != string(blobs[1]) {
+		t.Error("same config on same pool produced different results")
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := poolTestConfig(3)
+	if _, err := RunContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// Cancellation must also work through a shared pool without
+	// poisoning it for later runs.
+	pool := NewPool(2)
+	defer pool.Close()
+	cfg = poolTestConfig(3)
+	cfg.Pool = pool
+	if _, err := RunContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pooled run: want context.Canceled, got %v", err)
+	}
+	cfg = poolTestConfig(3)
+	cfg.Pool = pool
+	if _, err := RunContext(context.Background(), cfg); err != nil {
+		t.Fatalf("pool unusable after cancelled run: %v", err)
+	}
+}
+
+func TestMaxEventsBudget(t *testing.T) {
+	cfg := poolTestConfig(5)
+	cfg.MaxEvents = 1
+	if _, err := Run(cfg); !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	cfg = poolTestConfig(5)
+	cfg.MaxEvents = 1 << 20
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("generous budget must pass: %v", err)
+	}
+}

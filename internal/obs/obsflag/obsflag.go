@@ -17,12 +17,20 @@ import (
 )
 
 var (
-	addr = flag.String("obs", "", "serve metrics + pprof on this address (e.g. :6060); empty disables")
+	addr = flag.String("obs", "", "serve metrics + pprof on this address (e.g. :6060, or :0 for an ephemeral port); empty disables")
 	hold = flag.Duration("obs-hold", 0, "with -obs, keep the metrics server up this long after the run finishes")
+
+	resolved string
 )
 
 // Enabled reports whether -obs was set (valid after flag.Parse).
 func Enabled() bool { return *addr != "" }
+
+// Addr returns the resolved listen address after Start — with -obs :0
+// this is the ephemeral port the kernel actually assigned ("" when the
+// endpoint is disabled or not yet started). Scripts read it from the
+// Start log line; programs read it here.
+func Addr() string { return resolved }
 
 // Start launches the obs HTTP server when -obs is set and returns a
 // stop function for the caller to defer: it holds the server open for
@@ -39,6 +47,7 @@ func Start(cli string) (stop func()) {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", cli, err)
 		os.Exit(1)
 	}
+	resolved = bound
 	fmt.Fprintf(os.Stderr, "%s: obs listening on http://%s (metrics, pprof)\n", cli, bound)
 	return func() {
 		if *hold > 0 {

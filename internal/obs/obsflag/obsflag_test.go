@@ -1,0 +1,51 @@
+package obsflag
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestEphemeralPort pins the -obs :0 contract: Start binds an ephemeral
+// port, Addr() reports the resolved address, and the endpoint serves
+// metrics there until the stop function runs.
+func TestEphemeralPort(t *testing.T) {
+	if err := flag.Set("obs", "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer flag.Set("obs", "")
+	if !Enabled() {
+		t.Fatal("Enabled() false with -obs set")
+	}
+	stop := Start("obsflag-test")
+	addr := Addr()
+	if addr == "" || strings.HasSuffix(addr, ":0") {
+		t.Fatalf("Addr() = %q, want a resolved ephemeral port", addr)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "counters") {
+		t.Fatalf("metrics scrape: %d %q", resp.StatusCode, body)
+	}
+	stop()
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("endpoint still up after stop")
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	if err := flag.Set("obs", ""); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Fatal("Enabled() true with -obs empty")
+	}
+	stop := Start("obsflag-test")
+	stop() // both must be no-ops
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentPerJobRegistries models the msserve pattern under the
+// race detector: many per-job registries written concurrently while
+// their snapshots are merged into one accumulator and diffed. The
+// merged totals must equal the sum of what every job wrote.
+func TestConcurrentPerJobRegistries(t *testing.T) {
+	const (
+		jobs   = 32
+		events = 500
+	)
+	merged := Snapshot{Counters: map[string]int64{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			reg := NewRegistry()
+			c := reg.Counter("fleet.packets")
+			own := reg.Counter(fmt.Sprintf("job.%d.only", j))
+			g := reg.Gauge("fleet.workers")
+			for i := 0; i < events; i++ {
+				c.Inc()
+				g.Set(float64(i))
+			}
+			own.Add(int64(j))
+			st := reg.Stage("fleet.run")
+			st.Observe(time.Duration(j+1) * time.Microsecond)
+			snap := reg.Snapshot()
+			mu.Lock()
+			merged = merged.Merge(snap)
+			mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+
+	if got := merged.Counters["fleet.packets"]; got != jobs*events {
+		t.Fatalf("merged fleet.packets = %d, want %d", got, jobs*events)
+	}
+	for j := 0; j < jobs; j++ {
+		if got := merged.Counters[fmt.Sprintf("job.%d.only", j)]; got != int64(j) {
+			t.Fatalf("job %d private counter = %d, want %d", j, got, j)
+		}
+	}
+	if st := merged.Stages["fleet.run"]; st.Count != jobs {
+		t.Fatalf("merged stage count = %d, want %d", st.Count, jobs)
+	}
+
+	// Diffing the accumulator against a mid-stream copy isolates one
+	// job's contribution — the /metrics/jobs delta pattern.
+	extra := NewRegistry()
+	extra.Counter("fleet.packets").Add(7)
+	after := merged.Merge(extra.Snapshot())
+	delta := after.Sub(merged)
+	if got := delta.Counters["fleet.packets"]; got != 7 {
+		t.Fatalf("delta fleet.packets = %d, want 7", got)
+	}
+}
+
+// TestSnapshotMergeWhileWriting pins that taking and merging snapshots
+// races cleanly with live writers on the same registry (the obs
+// endpoint scraping a running job).
+func TestSnapshotMergeWhileWriting(t *testing.T) {
+	reg := NewRegistry()
+	stopc := make(chan struct{})
+	var wg, started sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		started.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("hot")
+			g := reg.Gauge("level")
+			c.Inc()
+			started.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopc:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(float64(i))
+			}
+		}()
+	}
+	started.Wait()
+	acc := Snapshot{Counters: map[string]int64{}}
+	var last int64
+	for i := 0; i < 200; i++ {
+		snap := reg.Snapshot()
+		if got := snap.Counters["hot"]; got < last {
+			t.Fatalf("counter went backwards: %d after %d", got, last)
+		} else {
+			last = got
+		}
+		acc = acc.Merge(snap)
+	}
+	close(stopc)
+	wg.Wait()
+	if acc.Counters["hot"] == 0 {
+		t.Fatal("accumulated snapshot lost the hot counter")
+	}
+}

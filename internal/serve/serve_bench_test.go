@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"testing"
+
+	"multiscatter/internal/obs"
+)
+
+// BenchmarkServeConcurrentJobs measures service throughput: 64 small
+// deployment jobs per iteration submitted at once and run to
+// completion against the shared pool. Reported via msbench alongside
+// the engine benchmarks; the deterministic sim-side numbers for the
+// same workload live in the msbench "serve" report section.
+func BenchmarkServeConcurrentJobs(b *testing.B) {
+	jobs := BenchJobs(64)
+	m := NewManager(Config{
+		Limits: Limits{MaxRunning: 16, MaxQueue: len(jobs)},
+		Obs:    obs.NewRegistry(),
+	})
+	defer m.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submitted := make([]*Job, 0, len(jobs))
+		for _, jc := range jobs {
+			j, err := m.Submit(jc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			submitted = append(submitted, j)
+		}
+		for _, j := range submitted {
+			<-j.Done()
+			if j.State() != StateDone {
+				b.Fatalf("%s: %s %s", j.ID, j.State(), j.Err())
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(jobs)*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Full verification gate: build, vet, race-enabled tests, golden replay
-# diff, and a short overlay fuzz smoke. Mirrors `make check` for
-# environments without make.
+# diff, a short overlay fuzz smoke, and the msserve end-to-end smoke
+# (race-built server, byte-identical results, graceful drain). Mirrors
+# `make check` for environments without make.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,6 +16,8 @@ echo "== replay-diff (golden trace, serial vs parallel)"
 go test -run TestGoldenTrace -count=1 ./internal/replay
 echo "== overlay fuzz smoke (5s)"
 go test -run - -fuzz FuzzPlanInvariants -fuzztime 5s ./internal/overlay
+echo "== serve smoke (msserve + msload byte-identical, race-built)"
+sh scripts/serve_smoke.sh
 if [ "${MS_SKIP_BENCH:-}" = "1" ]; then
     echo "== bench-compare (skipped: MS_SKIP_BENCH=1)"
 else

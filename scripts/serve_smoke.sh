@@ -1,0 +1,83 @@
+#!/bin/sh
+# End-to-end smoke test for the fleet service: build msserve, msfleet and
+# msload with the race detector, start the server on an ephemeral port,
+# drive it with msload, and assert that every job result is byte-identical
+# to a standalone msfleet run with the same (seed, config). Finishes by
+# checking graceful SIGTERM drain (exit 0).
+#
+# Knobs (env): MS_SMOKE_JOBS (default 6), MS_SMOKE_SEED (default 7).
+set -eu
+cd "$(dirname "$0")/.."
+
+JOBS="${MS_SMOKE_JOBS:-6}"
+SEED="${MS_SMOKE_SEED:-7}"
+SCENARIO=home
+TAGS=8
+FLOOR=12x18
+SPAN=2s
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/msserve-smoke.XXXXXX")"
+SRV_PID=""
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build (race) msserve msfleet msload"
+go build -race -o "$WORK" ./cmd/msserve ./cmd/msfleet ./cmd/msload
+
+echo "== golden msfleet runs (seeds $SEED..$((SEED + JOBS - 1)))"
+i=0
+while [ "$i" -lt "$JOBS" ]; do
+    s=$((SEED + i))
+    "$WORK/msfleet" -scenario "$SCENARIO" -tags "$TAGS" -floor "$FLOOR" \
+        -span "$SPAN" -seed "$s" -json "$WORK/golden-seed$s.json" > /dev/null
+    i=$((i + 1))
+done
+
+echo "== start msserve on an ephemeral port"
+"$WORK/msserve" -addr 127.0.0.1:0 -addr-file "$WORK/addr" -pool 2 &
+SRV_PID=$!
+i=0
+while [ ! -s "$WORK/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve_smoke: msserve never published its address" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR="$(cat "$WORK/addr")"
+echo "   msserve at $ADDR"
+
+echo "== msload: $JOBS concurrent jobs"
+"$WORK/msload" -server "$ADDR" -jobs "$JOBS" -concurrency "$JOBS" \
+    -scenario "$SCENARIO" -tags "$TAGS" -floor "$FLOOR" -span "$SPAN" \
+    -seed "$SEED" -out "$WORK/out"
+
+echo "== byte-identical check: service results vs msfleet -json"
+i=0
+while [ "$i" -lt "$JOBS" ]; do
+    s=$((SEED + i))
+    cmp "$WORK/golden-seed$s.json" "$WORK/out/job-seed$s.json"
+    i=$((i + 1))
+done
+echo "   $JOBS/$JOBS results byte-identical"
+
+echo "== API surface"
+curl -sf "http://$ADDR/healthz" > /dev/null
+curl -sf "http://$ADDR/jobs" > /dev/null
+curl -sf "http://$ADDR/metrics/jobs" > /dev/null
+curl -sf "http://$ADDR/obs/metrics" > /dev/null
+
+echo "== graceful drain on SIGTERM"
+kill -TERM "$SRV_PID"
+rc=0
+wait "$SRV_PID" || rc=$?
+SRV_PID=""
+if [ "$rc" -ne 0 ]; then
+    echo "serve_smoke: msserve exited $rc on SIGTERM (want 0)" >&2
+    exit 1
+fi
+echo "serve smoke OK"
