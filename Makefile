@@ -10,10 +10,11 @@
 #   make trace-demo     seeded fleet run exporting a Perfetto-loadable trace
 #   make serve-demo     msserve + msload end-to-end byte-identical smoke (scripts/serve_smoke.sh)
 #   make serve-smoke    alias for serve-demo
+#   make fig16-demo     concurrent multi-tag OFDM curve (joint decode vs capture)
 
 GO ?= go
 
-.PHONY: all build vet test race check replay-diff bench bench-compare profile obs-demo trace-demo serve-demo serve-smoke
+.PHONY: all build vet test race check replay-diff bench bench-compare profile obs-demo trace-demo serve-demo serve-smoke fig16-demo
 
 all: check
 
@@ -80,6 +81,12 @@ serve-demo:
 	sh scripts/serve_smoke.sh
 
 serve-smoke: serve-demo
+
+# Prints the fig16 concurrency curve: n co-located 802.11n tags decoded
+# jointly via subcarrier groups vs single-winner capture, plus the
+# waveform-level joint-decode BER sweep. Deterministic for a fixed seed.
+fig16-demo:
+	$(GO) run ./cmd/msbench -experiment fig16
 
 # Produces a Perfetto-loadable flight-recorder trace from a seeded fleet
 # run: load /tmp/msfleet-trace.json at https://ui.perfetto.dev (or

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	msfleet [-scenario office] [-tags 50] [-floor 30x50] [-receivers 2]
-//	        [-span 10s] [-seed 1] [-workers 0] [-capture 10] [-shadow 0]
+//	        [-span 10s] [-seed 1] [-workers 0] [-capture 10] [-joint 0]
+//	        [-shadow 0]
 //	        [-lux 0] [-top 5] [-json fleet.json]
 //	        [-journal run.journal] [-replay golden.journal]
 //	        [-trace run.jsonl] [-trace-sample 100] [-trace-format chrome]
@@ -41,6 +42,7 @@ var (
 	seed      = flag.Int64("seed", 1, "random seed (same seed ⇒ identical result at any -workers)")
 	workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	capture   = flag.Float64("capture", 10, "capture margin in dB for cross-tag collisions")
+	joint     = flag.Int("joint", 0, "max colliding 802.11n tags decoded jointly (0 = default 4, negative disables)")
 	bucketMS  = flag.Int("bucket", 500, "throughput timeline bucket (ms)")
 	lux       = flag.Float64("lux", 0, "light level for energy-harvesting tags (0 = unlimited power)")
 	top       = flag.Int("top", 5, "show the N highest-rate tags (0 disables)")
@@ -70,17 +72,18 @@ func main() {
 	// CLI run and a service job with the same (seed, config) are the
 	// same run by construction.
 	jc := serve.JobConfig{
-		Scenario:      *scenario,
-		Tags:          *tags,
-		FloorW:        w,
-		FloorH:        h,
-		Receivers:     *receivers,
-		SpanMS:        int(*span / time.Millisecond),
-		Seed:          *seed,
-		CaptureDB:     *capture,
-		BucketMS:      *bucketMS,
-		ShadowSigmaDB: *shadow,
-		Lux:           *lux,
+		Scenario:       *scenario,
+		Tags:           *tags,
+		FloorW:         w,
+		FloorH:         h,
+		Receivers:      *receivers,
+		SpanMS:         int(*span / time.Millisecond),
+		Seed:           *seed,
+		CaptureDB:      *capture,
+		ConcurrentOFDM: *joint,
+		BucketMS:       *bucketMS,
+		ShadowSigmaDB:  *shadow,
+		Lux:            *lux,
 	}
 	cfg, err := jc.FleetConfig()
 	if err != nil {

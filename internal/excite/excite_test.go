@@ -128,6 +128,23 @@ func TestCollisionsFig16aShape(t *testing.T) {
 	}
 }
 
+func TestCollisionFractionZeroPackets(t *testing.T) {
+	// A source that emitted nothing has a 0 (not NaN) collision share —
+	// idle sources in a scenario must not poison fig16 aggregates.
+	if got := (CollisionStats{}).CollisionFraction(); got != 0 {
+		t.Fatalf("CollisionFraction of empty stats = %v, want 0", got)
+	}
+	if got := (CollisionStats{Collided: 3}.CollisionFraction()); got != 0 {
+		t.Fatalf("CollisionFraction with zero packets = %v, want 0", got)
+	}
+	stats := Collisions(nil, 2)
+	for i, s := range stats {
+		if f := s.CollisionFraction(); f != 0 {
+			t.Fatalf("empty timeline: source %d fraction = %v, want 0", i, f)
+		}
+	}
+}
+
 func TestExpectedCollisionLossMatchesSimulation(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	wifi := NewWiFi11nSource()

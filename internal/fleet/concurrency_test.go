@@ -1,0 +1,309 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"multiscatter/internal/excite"
+	"multiscatter/internal/obs"
+	"multiscatter/internal/obs/ptrace"
+	"multiscatter/internal/radio"
+	"multiscatter/internal/sim"
+)
+
+// clusterConfig deploys n co-located 802.11n tags (identical RSSI) plus
+// perfect identification, so every non-air-collided packet contends
+// with count n.
+func clusterConfig(n int, seed int64) Config {
+	tags := make([]TagSpec, n)
+	for i := range tags {
+		tags[i] = TagSpec{X: 1, Y: 0, IdentAccuracy: perfectAccuracy,
+			Supported: []radio.Protocol{radio.Protocol80211n}}
+	}
+	return Config{
+		Sources:   []excite.Source{wifiSource(100)},
+		Tags:      tags,
+		Receivers: []ReceiverSpec{{X: 0, Y: 0}},
+		Span:      time.Second,
+		Seed:      seed,
+		Obs:       obs.NewRegistry(),
+	}
+}
+
+// TestContentionTieBreak pins the capture arbitration tie-break: the
+// merge runs in ascending tag-ID order and uses strictly-greater
+// comparisons, so an exact RSSI tie leaves the lowest tag ID as the
+// capture candidate, and a strictly stronger later tag still wins.
+func TestContentionTieBreak(t *testing.T) {
+	var c contention
+	c.add(3, -60)
+	c.add(5, -60) // exact tie: first (lowest ID) keeps best
+	c.add(7, -60)
+	if c.bestTag != 3 {
+		t.Fatalf("tie winner = tag %d, want lowest ID 3", c.bestTag)
+	}
+	if c.bestRSSI != -60 || c.secondRSSI != -60 {
+		t.Fatalf("tie best/second = %v/%v, want -60/-60", c.bestRSSI, c.secondRSSI)
+	}
+	c.add(9, -50) // strictly stronger: replaces
+	if c.bestTag != 9 || c.bestRSSI != -50 || c.secondRSSI != -60 {
+		t.Fatalf("stronger tag must win: best=%d %v second=%v", c.bestTag, c.bestRSSI, c.secondRSSI)
+	}
+	if c.count != 4 {
+		t.Fatalf("count = %d", c.count)
+	}
+	// Single responder: no runner-up, margin is +Inf.
+	var solo contention
+	solo.add(1, -70)
+	if solo.bestTag != 1 || !math.IsInf(solo.secondRSSI, -1) {
+		t.Fatalf("solo contention: %+v", solo)
+	}
+}
+
+// TestCaptureMarginBoundary pins the >= semantics of the capture
+// margin: a margin exactly equal to CaptureDB is captured (the loss
+// condition is margin < CaptureDB); the next representable margin
+// requirement above it loses.
+func TestCaptureMarginBoundary(t *testing.T) {
+	near := TagSpec{X: 2, Y: 0, IdentAccuracy: perfectAccuracy}
+	far := TagSpec{X: 3, Y: 0, IdentAccuracy: perfectAccuracy}
+	cfg := Config{
+		Sources:        []excite.Source{wifiSource(100)},
+		Tags:           []TagSpec{near, far},
+		Receivers:      []ReceiverSpec{{X: 0, Y: 0}},
+		Span:           time.Second,
+		Seed:           6,
+		ConcurrentOFDM: -1, // isolate capture arbitration
+	}
+	probe, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := radio.Protocol80211n.String()
+	margin := probe.Tags[0].RSSIdBm[p] - probe.Tags[1].RSSIdBm[p]
+	if margin <= 0 {
+		t.Fatalf("near tag must be stronger, margin %v dB", margin)
+	}
+	airCollided := probe.Tags[0].Outcomes[sim.Collided]
+
+	cfg.CaptureDB = margin // margin == CaptureDB: captured
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Tags[0].Outcomes[sim.Delivered]; got != res.Events-airCollided {
+		t.Fatalf("margin==CaptureDB must capture: near delivered %d/%d", got, res.Events-airCollided)
+	}
+	if got := res.Tags[1].Outcomes[sim.CrossCollided]; got != res.Events-airCollided {
+		t.Fatalf("runner-up must lose every contention: %d", got)
+	}
+
+	cfg.CaptureDB = math.Nextafter(margin, math.Inf(1)) // margin < CaptureDB: lost
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Tags[0].Outcomes[sim.Delivered]; got != 0 {
+		t.Fatalf("margin just under CaptureDB must lose, near delivered %d", got)
+	}
+	if got := res.Outcomes[sim.CrossCollided]; got != 2*(res.Events-airCollided) {
+		t.Fatalf("both tags must cross-collide, got %d", got)
+	}
+}
+
+// TestConcurrentOFDMJointDecode: clusters of 2..MaxConcurrent co-located
+// OFDM tags — capture would drop every contested packet (exact RSSI
+// ties), joint decoding recovers every participant with full per-tag
+// bits and perfect fairness.
+func TestConcurrentOFDMJointDecode(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		res, err := Run(clusterConfig(n, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Outcomes[sim.Delivered]; got != 0 {
+			t.Fatalf("n=%d: clean deliveries %d, want 0 (every packet contends)", n, got)
+		}
+		if got := res.Outcomes[sim.CrossCollided]; got != 0 {
+			t.Fatalf("n=%d: cross-collided %d, want 0 (joint decode)", n, got)
+		}
+		conc := res.Outcomes[sim.DecodedConcurrent]
+		if conc == 0 || conc%n != 0 {
+			t.Fatalf("n=%d: decoded-concurrent = %d, want positive multiple of %d", n, conc, n)
+		}
+		airCollided := res.Outcomes[sim.Collided] / n
+		if conc != n*(res.Events-airCollided) {
+			t.Fatalf("n=%d: decoded-concurrent = %d, want %d", n, conc, n*(res.Events-airCollided))
+		}
+		if res.Fairness != 1 {
+			t.Fatalf("n=%d: joint decode fairness = %v, want 1", n, res.Fairness)
+		}
+		// Every tag delivers the same full bit count a solo tag would.
+		solo, err := Run(clusterConfig(1, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range res.Tags {
+			if tr.TagBits != solo.Tags[0].TagBits {
+				t.Fatalf("n=%d tag %d: %d bits, want solo rate %d (disjoint groups keep the symbol rate)",
+					n, tr.ID, tr.TagBits, solo.Tags[0].TagBits)
+			}
+		}
+	}
+}
+
+// TestConcurrentOFDMFallbackAboveMax: a cluster larger than
+// ConcurrentOFDM must fall back to capture arbitration (and, co-located,
+// lose everything).
+func TestConcurrentOFDMFallbackAboveMax(t *testing.T) {
+	res, err := Run(clusterConfig(5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Outcomes[sim.DecodedConcurrent]; got != 0 {
+		t.Fatalf("5 > ConcurrentOFDM(4) must not joint-decode, got %d", got)
+	}
+	if res.Outcomes[sim.CrossCollided] == 0 {
+		t.Fatal("oversize cluster should cross-collide")
+	}
+
+	// Raising the cap pulls the same cluster back into joint decoding.
+	cfg := clusterConfig(5, 3)
+	cfg.ConcurrentOFDM = 8
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes[sim.DecodedConcurrent] == 0 || res.Outcomes[sim.CrossCollided] != 0 {
+		t.Fatalf("ConcurrentOFDM=8 should joint-decode the 5-cluster: %+v", res.Outcomes)
+	}
+}
+
+// TestConcurrentOFDMOnlyAppliesToOFDM: joint decoding is an 802.11n
+// subcarrier technique; a BLE cluster still resolves by capture.
+func TestConcurrentOFDMOnlyAppliesToOFDM(t *testing.T) {
+	spec := TagSpec{X: 1, Y: 0, IdentAccuracy: perfectAccuracy,
+		Supported: []radio.Protocol{radio.ProtocolBLE}}
+	cfg := Config{
+		Sources:   []excite.Source{excite.NewBLEAdvSource()},
+		Tags:      []TagSpec{spec, spec},
+		Receivers: []ReceiverSpec{{X: 0, Y: 0}},
+		Span:      2 * time.Second,
+		Seed:      3,
+		Obs:       obs.NewRegistry(),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Outcomes[sim.DecodedConcurrent]; got != 0 {
+		t.Fatalf("BLE cluster joint-decoded %d packets, want 0", got)
+	}
+	if res.Outcomes[sim.CrossCollided] == 0 {
+		t.Fatal("BLE cluster should cross-collide under capture")
+	}
+}
+
+// TestConcurrentDecodeDeterministicAcrossWorkers asserts the
+// decoded-concurrent path is byte-identical at -workers 1/4/16: both
+// the Result JSON and the full flight-recorder stream (which carries
+// every decoded-concurrent event) must not move with the pool size.
+func TestConcurrentDecodeDeterministicAcrossWorkers(t *testing.T) {
+	encode := func(workers int) ([]byte, []byte) {
+		cfg := clusterConfig(4, 17)
+		// Widen the outcome mix beyond the joint cluster: a solo WiFi tag
+		// on its own receiver (clear deliveries) and two co-located BLE
+		// tags (capture cross-collisions), so the stream interleaves the
+		// joint, capture and clear paths.
+		cfg.Tags = append(cfg.Tags,
+			TagSpec{X: 12, Y: 1, IdentAccuracy: perfectAccuracy,
+				Supported: []radio.Protocol{radio.Protocol80211n}},
+			TagSpec{X: 1, Y: 2, IdentAccuracy: perfectAccuracy,
+				Supported: []radio.Protocol{radio.ProtocolBLE}},
+			TagSpec{X: 1, Y: 2, IdentAccuracy: perfectAccuracy,
+				Supported: []radio.Protocol{radio.ProtocolBLE}})
+		cfg.Receivers = append(cfg.Receivers, ReceiverSpec{X: 12, Y: 0})
+		cfg.Sources = append(cfg.Sources, excite.NewBLEAdvSource())
+		cfg.Workers = workers
+		cfg.Trace = ptrace.New(ptrace.Config{Sample: 1})
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcomes[sim.DecodedConcurrent] == 0 {
+			t.Fatal("deployment must exercise decoded-concurrent")
+		}
+		js, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ptrace.WriteJSONL(&buf, cfg.Trace.Drain()); err != nil {
+			t.Fatal(err)
+		}
+		return js, buf.Bytes()
+	}
+	baseJSON, baseTrace := encode(1)
+	if !bytes.Contains(baseTrace, []byte("decoded-concurrent")) {
+		t.Fatal("trace stream must carry decoded-concurrent outcomes")
+	}
+	for _, workers := range []int{4, 16} {
+		js, tr := encode(workers)
+		if !bytes.Equal(js, baseJSON) {
+			t.Fatalf("result JSON differs between workers=1 and workers=%d", workers)
+		}
+		if !bytes.Equal(tr, baseTrace) {
+			t.Fatalf("trace stream differs between workers=1 and workers=%d", workers)
+		}
+	}
+}
+
+// TestConcurrencySweep checks the fig16 concurrency curve's acceptance
+// shape: aggregate throughput at N=2..4 strictly above both the
+// capture baseline and the single-tag point, with Jain fairness ≈ 1,
+// and the whole sweep deterministic.
+func TestConcurrencySweep(t *testing.T) {
+	pts, err := ConcurrencySweep(4, time.Second, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	single := pts[0].AggregateKbps
+	if single <= 0 {
+		t.Fatal("single-tag point has no throughput")
+	}
+	if pts[0].AggregateKbps != pts[0].BaselineKbps {
+		t.Fatalf("n=1 joint and baseline must agree: %v vs %v",
+			pts[0].AggregateKbps, pts[0].BaselineKbps)
+	}
+	for _, p := range pts[1:] {
+		if p.AggregateKbps <= p.BaselineKbps {
+			t.Fatalf("n=%d: aggregate %.2f not above capture baseline %.2f",
+				p.N, p.AggregateKbps, p.BaselineKbps)
+		}
+		if p.AggregateKbps <= single {
+			t.Fatalf("n=%d: aggregate %.2f not above single-tag %.2f",
+				p.N, p.AggregateKbps, single)
+		}
+		if p.Jain < 0.999 {
+			t.Fatalf("n=%d: Jain %.4f, want ≈1", p.N, p.Jain)
+		}
+		if p.Concurrent == 0 {
+			t.Fatalf("n=%d: no decoded-concurrent packets", p.N)
+		}
+	}
+	again, err := ConcurrencySweep(4, time.Second, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if pts[i] != again[i] {
+			t.Fatalf("sweep not deterministic at n=%d: %+v vs %+v", pts[i].N, pts[i], again[i])
+		}
+	}
+}

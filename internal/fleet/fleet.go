@@ -30,6 +30,7 @@ import (
 	"multiscatter/internal/obs"
 	"multiscatter/internal/obs/ptrace"
 	"multiscatter/internal/overlay"
+	"multiscatter/internal/phy/ofdm"
 	"multiscatter/internal/radio"
 	"multiscatter/internal/sim"
 )
@@ -44,8 +45,8 @@ var DivergeHook func(workers, tag, packet int) bool
 const (
 	// protocolSlots sizes per-protocol arrays (ProtocolUnknown..80211n).
 	protocolSlots = int(radio.Protocol80211n) + 1
-	// outcomeSlots sizes per-outcome arrays (Delivered..CrossCollided).
-	outcomeSlots = int(sim.CrossCollided) + 1
+	// outcomeSlots sizes per-outcome arrays (Delivered..DecodedConcurrent).
+	outcomeSlots = int(sim.DecodedConcurrent) + 1
 	// maxShards bounds the shard count. It is a fixed constant — NOT a
 	// function of Workers or GOMAXPROCS — because the shard partition
 	// determines RNG stream assignment and must not change with the
@@ -115,8 +116,24 @@ type Config struct {
 	// CaptureDB is the RSSI margin by which the strongest of several
 	// tags backscattering the same packet must beat the runner-up to be
 	// captured by the receiver (default 10 dB). Below the margin all
-	// colliding tags lose the packet.
+	// colliding tags lose the packet. Boundary semantics are pinned by
+	// TestCaptureMarginBoundary: a margin exactly equal to CaptureDB IS
+	// captured (the loss test is margin < CaptureDB), and an exact RSSI
+	// tie resolves to the lowest tag ID (the contention merge runs in
+	// tag-ID order with strictly-greater comparisons).
 	CaptureDB float64
+	// ConcurrentOFDM is the maximum number of tags the receiver recovers
+	// jointly from one collided 802.11n excitation packet via
+	// subcarrier-redundancy concurrent OFDM decoding
+	// (ofdm.AssignConcurrent / ofdm.JointDemodulator): collisions of
+	// 2..ConcurrentOFDM OFDM-responding tags at one receiver classify as
+	// sim.DecodedConcurrent and every participant delivers its bits
+	// (disjoint subcarrier groups keep the per-tag symbol rate), subject
+	// to the same per-tag PER draw as a clean delivery; larger collisions
+	// fall back to capture arbitration. 0 defaults to
+	// ofdm.MaxSubcarrierGroups (4); negative disables joint decoding.
+	// Non-OFDM protocols always use capture arbitration.
+	ConcurrentOFDM int
 	// DistanceBucketM is the calibrated-link cache resolution in metres
 	// (default 0.25).
 	DistanceBucketM float64
@@ -179,6 +196,23 @@ type contention struct {
 	bestTag    int32
 	bestRSSI   float64
 	secondRSSI float64
+}
+
+// add merges one tag's response. Callers MUST add in ascending tag-ID
+// order (the serial merge does): the strictly-greater comparisons then
+// make the lowest tag ID the deterministic winner of an exact RSSI tie.
+// Pinned by TestContentionTieBreak.
+func (c *contention) add(tag int32, rssi float64) {
+	c.count++
+	switch {
+	case c.count == 1:
+		c.bestTag, c.bestRSSI, c.secondRSSI = tag, rssi, math.Inf(-1)
+	case rssi > c.bestRSSI:
+		c.secondRSSI = c.bestRSSI
+		c.bestTag, c.bestRSSI = tag, rssi
+	case rssi > c.secondRSSI:
+		c.secondRSSI = rssi
+	}
 }
 
 // durBits is one resolved packet-capacity row: the overlay bit counts of
@@ -308,6 +342,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if cfg.CaptureDB <= 0 {
 		cfg.CaptureDB = 10
+	}
+	if cfg.ConcurrentOFDM == 0 {
+		cfg.ConcurrentOFDM = ofdm.MaxSubcarrierGroups
 	}
 	if cfg.DistanceBucketM <= 0 {
 		cfg.DistanceBucketM = 0.25
@@ -602,18 +639,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		t.linkLookups += int64(len(t.responses))
 		for _, ei := range t.responses {
 			p := events[ei].Protocol
-			rssi := t.linked[p].RSSIdBm
-			c := &cont[t.rx][ei]
-			c.count++
-			switch {
-			case c.count == 1:
-				c.bestTag, c.bestRSSI, c.secondRSSI = int32(t.id), rssi, math.Inf(-1)
-			case rssi > c.bestRSSI:
-				c.secondRSSI = c.bestRSSI
-				c.bestTag, c.bestRSSI = int32(t.id), rssi
-			case rssi > c.secondRSSI:
-				c.secondRSSI = rssi
-			}
+			cont[t.rx][ei].add(int32(t.id), t.linked[p].RSSIdBm)
 		}
 	}
 
@@ -631,9 +657,24 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				p := e.Protocol
 				c := &cont[t.rx][ei]
 				traced := traceMask != nil && traceMask[ei]
-				lost := c.count > 1 && (c.bestTag != int32(t.id) || c.bestRSSI-c.secondRSSI < cfg.CaptureDB)
+				// Concurrent OFDM joint decode: a collision of up to
+				// ConcurrentOFDM tags on an 802.11n packet is not arbitrated
+				// by capture at all — every participant rides its own
+				// subcarrier group (ofdm.AssignConcurrent) and the receiver
+				// separates them jointly. The decision depends only on the
+				// shared contention count, so it is identical for every
+				// participant and at any Workers value.
+				joint := p == radio.Protocol80211n && c.count > 1 &&
+					cfg.ConcurrentOFDM > 1 && int(c.count) <= cfg.ConcurrentOFDM
+				// Capture-loss boundary (pinned by TestCaptureMarginBoundary):
+				// a margin strictly below CaptureDB loses; exactly CaptureDB
+				// is captured. An exact RSSI tie makes the margin 0 (< any
+				// positive CaptureDB), but bestTag — the lowest tag ID, by
+				// merge order — is still the deterministic capture candidate.
+				lost := !joint && c.count > 1 &&
+					(c.bestTag != int32(t.id) || c.bestRSSI-c.secondRSSI < cfg.CaptureDB)
 				if DivergeHook != nil && DivergeHook(cfg.Workers, t.id, int(ei)) {
-					lost = true
+					lost, joint = true, false
 				}
 				if lost {
 					t.counts[p][sim.CrossCollided]++
@@ -644,10 +685,14 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 					continue
 				}
 				if traced {
-					if c.count > 1 {
+					switch {
+					case joint:
+						t.trace1(tr, e, int(ei), ptrace.StageChannel,
+							detailN("joint-ofdm n=", c.count))
+					case c.count > 1:
 						t.trace1(tr, e, int(ei), ptrace.StageChannel,
 							detailCaptured(c.count, c.bestRSSI-c.secondRSSI))
-					} else {
+					default:
 						t.trace1(tr, e, int(ei), ptrace.StageChannel, "clear")
 					}
 				}
@@ -668,7 +713,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 					}
 					continue
 				}
-				t.counts[p][sim.Delivered]++
+				outcome := sim.Delivered
+				if joint {
+					outcome = sim.DecodedConcurrent
+				}
+				t.counts[p][outcome]++
 				bits := -1
 				for _, db := range t.bitsTab[p] {
 					if db.dur == e.Duration {
@@ -689,7 +738,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				}
 				if traced {
 					t.trace2(tr, e, int(ei), ptrace.StageDemod,
-						detailDelivered(entry.RSSIdBm, bits), sim.Delivered)
+						detailDelivered(entry.RSSIdBm, bits), outcome)
 				}
 			}
 		}

@@ -181,14 +181,17 @@ func TestFleetShadowingDeterministicAcrossWorkers(t *testing.T) {
 
 func TestCrossTagCollisionSamePosition(t *testing.T) {
 	// Two co-located tags respond to every packet with identical RSSI:
-	// neither clears the capture margin, so nothing is delivered.
+	// neither clears the capture margin, so nothing is delivered. Joint
+	// OFDM decoding is disabled to pin the pure capture path (the joint
+	// behavior of the same deployment is TestConcurrentOFDMJointDecode).
 	spec := TagSpec{X: 1, Y: 0, IdentAccuracy: perfectAccuracy}
 	cfg := Config{
-		Sources:   []excite.Source{wifiSource(100)},
-		Tags:      []TagSpec{spec, spec},
-		Receivers: []ReceiverSpec{{X: 0, Y: 0}},
-		Span:      time.Second,
-		Seed:      3,
+		Sources:        []excite.Source{wifiSource(100)},
+		Tags:           []TagSpec{spec, spec},
+		Receivers:      []ReceiverSpec{{X: 0, Y: 0}},
+		Span:           time.Second,
+		Seed:           3,
+		ConcurrentOFDM: -1,
 	}
 	res, err := Run(cfg)
 	if err != nil {
@@ -219,11 +222,12 @@ func TestCaptureMargin(t *testing.T) {
 	near := TagSpec{X: 2, Y: 0, IdentAccuracy: perfectAccuracy}
 	far := TagSpec{X: 16, Y: 0, IdentAccuracy: perfectAccuracy}
 	cfg := Config{
-		Sources:   []excite.Source{wifiSource(100)},
-		Tags:      []TagSpec{near, far},
-		Receivers: []ReceiverSpec{{X: 0, Y: 0}},
-		Span:      time.Second,
-		Seed:      4,
+		Sources:        []excite.Source{wifiSource(100)},
+		Tags:           []TagSpec{near, far},
+		Receivers:      []ReceiverSpec{{X: 0, Y: 0}},
+		Span:           time.Second,
+		Seed:           4,
+		ConcurrentOFDM: -1, // pin the capture path; joint decode has its own tests
 	}
 	res, err := Run(cfg)
 	if err != nil {

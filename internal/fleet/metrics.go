@@ -99,8 +99,8 @@ type Result struct {
 
 // outcomesOrder lists outcomes in display order.
 var outcomesOrder = []sim.Outcome{
-	sim.Delivered, sim.CrossCollided, sim.Collided, sim.Misidentified,
-	sim.Unsupported, sim.TagAsleep, sim.LostDownlink,
+	sim.Delivered, sim.DecodedConcurrent, sim.CrossCollided, sim.Collided,
+	sim.Misidentified, sim.Unsupported, sim.TagAsleep, sim.LostDownlink,
 }
 
 // reduce folds per-tag partials into the Result, iterating tags in ID
@@ -208,14 +208,15 @@ func (r *Result) Markdown() string {
 		r.Cache.LinkLookups, r.Cache.LinkMisses,
 		r.Cache.BitsLookups, r.Cache.BitsMisses)
 
-	fmt.Fprintf(&b, "| protocol | packets | delivered | cross-collided | collided | misident | tag kbps |\n")
-	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|\n")
+	fmt.Fprintf(&b, "| protocol | packets | delivered | concurrent | cross-collided | collided | misident | tag kbps |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|\n")
 	for _, pt := range r.PerProtocol {
 		if pt.Packets == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %d | %.1f |\n",
-			pt.Name, pt.Packets, pt.Outcomes[sim.Delivered], pt.Outcomes[sim.CrossCollided],
+		fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %d | %d | %.1f |\n",
+			pt.Name, pt.Packets, pt.Outcomes[sim.Delivered], pt.Outcomes[sim.DecodedConcurrent],
+			pt.Outcomes[sim.CrossCollided],
 			pt.Outcomes[sim.Collided], pt.Outcomes[sim.Misidentified], pt.TagKbps)
 	}
 

@@ -27,6 +27,7 @@ func recordRun(reg *obs.Registry, res *Result) {
 		reg.Counter("fleet.outcome." + o.String()).Add(int64(n))
 	}
 	reg.Counter("fleet.responses").Add(int64(res.Outcomes[sim.Delivered] +
+		res.Outcomes[sim.DecodedConcurrent] +
 		res.Outcomes[sim.CrossCollided] + res.Outcomes[sim.LostDownlink]))
 	reg.Counter("fleet.cache.link_lookups").Add(res.Cache.LinkLookups)
 	reg.Counter("fleet.cache.link_misses").Add(res.Cache.LinkMisses)

@@ -78,12 +78,14 @@ type Delta struct {
 func (d Delta) key() string { return d.Experiment + "/" + d.Metric }
 
 // Gated reports whether a metric participates in the regression gate.
-// Throughput (kbps) and identification accuracy are higher-is-better
-// quality metrics: a drop beyond the threshold fails. Everything else
-// (ranges, powers, resource counts) is reported as drift but does not
-// gate, since "lower" is not uniformly worse for them.
+// Throughput (kbps), identification accuracy, and Jain fairness are
+// higher-is-better quality metrics: a drop beyond the threshold fails.
+// Everything else (ranges, powers, resource counts) is reported as
+// drift but does not gate, since "lower" is not uniformly worse for
+// them.
 func Gated(metric string) bool {
-	return strings.Contains(metric, "kbps") || strings.Contains(metric, "accuracy")
+	return strings.Contains(metric, "kbps") || strings.Contains(metric, "accuracy") ||
+		strings.Contains(metric, "jain")
 }
 
 // Report is the outcome of one comparison.

@@ -10,4 +10,6 @@ var (
 	obsDemodulate  = obs.Default().Stage("phy.ofdm.demodulate")
 	obsModulated   = obs.Default().Counter("phy.ofdm.modulated")
 	obsDemodulated = obs.Default().Counter("phy.ofdm.demodulated")
+	// obsJointDemodulated counts joint (multi-tag) demodulation calls.
+	obsJointDemodulated = obs.Default().Counter("phy.ofdm.joint_demodulated")
 )

@@ -359,10 +359,23 @@ func (m *Modulator) htSigSymbol(val uint32, idx int) []complex128 {
 	return ofdmSymbol(freq)
 }
 
-// pilotPolarity is the 127-element pilot polarity sequence of 802.11
-// (first few terms; it repeats). We use the standard first 16 values and
-// cycle — sufficient for simulation fidelity.
-var pilotPolarity = []float64{1, 1, 1, 1, -1, -1, -1, 1, -1, -1, -1, -1, 1, 1, -1, 1}
+// pilotPolarity is the full 127-element pilot polarity sequence of
+// 802.11 (IEEE 802.11-2012 §18.3.5.10, the scrambler-generated p_0..p_126
+// cycle). The first 16 values match the truncated cycle this table used
+// to hold, so symbols 0..12 of a data field (offset +3) are unchanged;
+// deeper symbols now carry the standard polarity — the concurrent joint
+// decoder leans on pilots as its per-symbol reference, so the truncated
+// cycle would corrupt per-tag separation past symbol 12.
+var pilotPolarity = []float64{
+	1, 1, 1, 1, -1, -1, -1, 1, -1, -1, -1, -1, 1, 1, -1, 1,
+	-1, -1, 1, 1, -1, 1, 1, -1, 1, 1, 1, 1, 1, 1, -1, 1,
+	1, 1, -1, 1, 1, -1, -1, 1, 1, 1, -1, 1, -1, -1, -1, 1,
+	-1, 1, -1, -1, 1, -1, -1, 1, 1, 1, 1, 1, -1, -1, 1, 1,
+	-1, -1, 1, -1, 1, -1, 1, 1, -1, -1, -1, 1, 1, -1, -1, -1,
+	-1, 1, -1, -1, 1, -1, 1, 1, 1, 1, -1, 1, -1, 1, -1, 1,
+	-1, -1, -1, -1, -1, 1, -1, 1, 1, -1, 1, -1, 1, 1, 1, -1,
+	-1, 1, -1, -1, -1, 1, 1, 1, -1, -1, -1, -1, -1, -1, -1,
+}
 
 func pilotValue(sym int, k int) complex128 {
 	pol := pilotPolarity[sym%len(pilotPolarity)]
@@ -552,40 +565,8 @@ func (d *Demodulator) Demodulate(w radio.Waveform, info *FrameInfo) ([]byte, err
 			return nil, ErrShortWaveform
 		}
 	}
-	// Channel estimate from the HT-LTF (the last 80 preamble samples),
-	// held in flat per-bin arrays instead of a map.
-	ltfStart := info.PreambleEnd - SymbolSamples
-	est := fftOfSymbolInto(d.bins[:], w.IQ[ltfStart:ltfStart+SymbolSamples])
-	for i := range d.chOK {
-		d.chOK[i] = false
-	}
-	for k, ref := range htltfSeq {
-		if ref != 0 {
-			idx := binIdx(k)
-			d.chVal[idx] = est[idx] / ref
-			d.chOK[idx] = true
-		}
-	}
-	// safeBin tolerates the out-of-band indices the fallback search can
-	// produce (|k| up to 31); those bins are never marked present, which
-	// matches the former map misses.
-	safeBin := func(k int) int { return ((k % FFTSize) + FFTSize) % FFTSize }
-	eq := func(k int, v complex128) complex128 {
-		idx := safeBin(k)
-		if !d.chOK[idx] || d.chVal[idx] == 0 {
-			// Fall back to nearest estimated subcarrier.
-			for dk := 1; dk < 4; dk++ {
-				if i2 := safeBin(k - dk); d.chOK[i2] && d.chVal[i2] != 0 {
-					return v / d.chVal[i2]
-				}
-				if i2 := safeBin(k + dk); d.chOK[i2] && d.chVal[i2] != 0 {
-					return v / d.chVal[i2]
-				}
-			}
-			return v
-		}
-		return v / d.chVal[idx]
-	}
+	d.estimateChannel(w, info)
+	eq := d.equalize
 
 	bpsc := d.cfg.Modulation.BitsPerSubcarrier()
 	if cap(d.coded) < info.NumSymbols()*len(dataSubcarriers)*bpsc {
@@ -623,6 +604,49 @@ func (d *Demodulator) Demodulate(w radio.Waveform, info *FrameInfo) ([]byte, err
 		decoded = decoded[:info.PayloadBits]
 	}
 	return decoded, nil
+}
+
+// estimateChannel fills the per-bin channel estimate from the HT-LTF
+// (the last 80 preamble samples), held in flat per-bin arrays instead of
+// a map. Shared by Demodulate and the JointDemodulator so both paths
+// equalize identically.
+func (d *Demodulator) estimateChannel(w radio.Waveform, info *FrameInfo) {
+	ltfStart := info.PreambleEnd - SymbolSamples
+	est := fftOfSymbolInto(d.bins[:], w.IQ[ltfStart:ltfStart+SymbolSamples])
+	for i := range d.chOK {
+		d.chOK[i] = false
+	}
+	for k, ref := range htltfSeq {
+		if ref != 0 {
+			idx := binIdx(k)
+			d.chVal[idx] = est[idx] / ref
+			d.chOK[idx] = true
+		}
+	}
+}
+
+// safeBin tolerates the out-of-band indices the fallback search can
+// produce (|k| up to 31); those bins are never marked present, which
+// matches the former map misses.
+func safeBin(k int) int { return ((k % FFTSize) + FFTSize) % FFTSize }
+
+// equalize divides a received bin value by the channel estimate for
+// subcarrier k, falling back to the nearest estimated subcarrier.
+func (d *Demodulator) equalize(k int, v complex128) complex128 {
+	idx := safeBin(k)
+	if !d.chOK[idx] || d.chVal[idx] == 0 {
+		// Fall back to nearest estimated subcarrier.
+		for dk := 1; dk < 4; dk++ {
+			if i2 := safeBin(k - dk); d.chOK[i2] && d.chVal[i2] != 0 {
+				return v / d.chVal[i2]
+			}
+			if i2 := safeBin(k + dk); d.chOK[i2] && d.chVal[i2] != 0 {
+				return v / d.chVal[i2]
+			}
+		}
+		return v
+	}
+	return v / d.chVal[idx]
 }
 
 // puncturedLen counts the kept positions of a mother stream of length n

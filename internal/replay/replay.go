@@ -63,6 +63,7 @@ func rssiBucket(dbm float64) int {
 var outcomeOrder = []sim.Outcome{
 	sim.Delivered, sim.TagAsleep, sim.Collided, sim.Misidentified,
 	sim.Unsupported, sim.LostDownlink, sim.CrossCollided,
+	sim.DecodedConcurrent,
 }
 
 // FromFleet flattens a fleet result into a journal. Entries follow the

@@ -47,6 +47,11 @@ type JobConfig struct {
 	Seed int64 `json:"seed,omitempty"`
 	// CaptureDB is the cross-tag capture margin. Default 10.
 	CaptureDB float64 `json:"capture_db,omitempty"`
+	// ConcurrentOFDM caps how many colliding 802.11n tags the receiver
+	// decodes jointly via subcarrier-group separation. 0 takes the engine
+	// default (4); negative disables joint decoding (capture arbitration
+	// only). Mirrors msfleet's -joint.
+	ConcurrentOFDM int `json:"concurrent_ofdm,omitempty"`
 	// BucketMS sizes the throughput timeline buckets. Default 500.
 	BucketMS int `json:"bucket_ms,omitempty"`
 	// ShadowSigmaDB enables log-normal shadowing when positive.
@@ -119,14 +124,15 @@ func (jc JobConfig) FleetConfig() (fleet.Config, error) {
 		}
 	}
 	cfg := fleet.Config{
-		Sources:   sc.Sources,
-		Tags:      specs,
-		Receivers: fleet.PlaceReceivers(jc.Receivers, jc.FloorW, jc.FloorH),
-		Span:      jc.Span(),
-		BucketMS:  jc.BucketMS,
-		Seed:      jc.Seed,
-		CaptureDB: jc.CaptureDB,
-		MaxEvents: jc.MaxPackets,
+		Sources:        sc.Sources,
+		Tags:           specs,
+		Receivers:      fleet.PlaceReceivers(jc.Receivers, jc.FloorW, jc.FloorH),
+		Span:           jc.Span(),
+		BucketMS:       jc.BucketMS,
+		Seed:           jc.Seed,
+		CaptureDB:      jc.CaptureDB,
+		ConcurrentOFDM: jc.ConcurrentOFDM,
+		MaxEvents:      jc.MaxPackets,
 	}
 	if jc.ShadowSigmaDB > 0 {
 		ch := channel.NewLoS()

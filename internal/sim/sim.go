@@ -43,6 +43,11 @@ const (
 	// excitation packet and neither cleared the capture margin at the
 	// receiver (internal/fleet deployments only).
 	CrossCollided
+	// DecodedConcurrent: several tags of the fleet backscattered the same
+	// 802.11n excitation packet and the receiver recovered this tag
+	// jointly via subcarrier-redundancy concurrent OFDM decoding instead
+	// of capture arbitration (internal/fleet deployments only).
+	DecodedConcurrent
 )
 
 // String names the outcome.
@@ -62,6 +67,8 @@ func (o Outcome) String() string {
 		return "lost-downlink"
 	case CrossCollided:
 		return "cross-collided"
+	case DecodedConcurrent:
+		return "decoded-concurrent"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -300,7 +307,7 @@ func Run(cfg Config) (*Result, error) {
 		traced := tr != nil && tr.Wants(int32(i))
 		rec := func(stage ptrace.Stage, detail string) {
 			tr.Record(ptrace.Event{
-				TUS: int64(e.Start / time.Microsecond),
+				TUS:    int64(e.Start / time.Microsecond),
 				Packet: int32(i), Proto: e.Protocol.String(),
 				Stage: stage, Detail: detail,
 			})

@@ -28,6 +28,8 @@
 package multiscatter
 
 import (
+	"time"
+
 	"multiscatter/internal/channel"
 	"multiscatter/internal/core"
 	"multiscatter/internal/fleet"
@@ -282,3 +284,24 @@ func PlaceGrid(n int, w, h float64) []FleetTag { return fleet.PlaceGrid(n, w, h)
 
 // PlaceReceivers spreads k receivers over a w×h floor plan.
 func PlaceReceivers(k int, w, h float64) []FleetReceiver { return fleet.PlaceReceivers(k, w, h) }
+
+// JointOFDMPoint is one cell of the waveform-level concurrent-OFDM
+// experiment (fig16 concurrency): k tags on one 802.11n frame at one SNR.
+type JointOFDMPoint = core.JointOFDMPoint
+
+// RunJointOFDM sweeps concurrent-OFDM joint decoding over fleet sizes
+// and SNRs at the waveform level.
+func RunJointOFDM(snrsDB []float64, packets int, seed int64) ([]JointOFDMPoint, error) {
+	return core.RunJointOFDM(snrsDB, packets, seed)
+}
+
+// ConcurrencyPoint is one point of the fig16 concurrency-vs-throughput
+// curve at the fleet level.
+type ConcurrencyPoint = fleet.ConcurrencyPoint
+
+// ConcurrencySweep measures aggregate fleet throughput and Jain
+// fairness for 1..maxN co-located 802.11n tags, with concurrent-OFDM
+// joint decoding against the capture-only baseline.
+func ConcurrencySweep(maxN int, span time.Duration, seed int64) ([]ConcurrencyPoint, error) {
+	return fleet.ConcurrencySweep(maxN, span, seed)
+}
