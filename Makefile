@@ -10,11 +10,13 @@
 #   make trace-demo     seeded fleet run exporting a Perfetto-loadable trace
 #   make serve-demo     msserve + msload end-to-end byte-identical smoke (scripts/serve_smoke.sh)
 #   make serve-smoke    alias for serve-demo
+#   make fig15-demo     three-system occlusion comparison incl. Double-decker
 #   make fig16-demo     concurrent multi-tag OFDM curve (joint decode vs capture)
+#   make docs-check     dead intra-repo link check over the markdown docs
 
 GO ?= go
 
-.PHONY: all build vet test race check replay-diff bench bench-compare profile obs-demo trace-demo serve-demo serve-smoke fig16-demo
+.PHONY: all build vet test race check replay-diff bench bench-compare profile obs-demo trace-demo serve-demo serve-smoke fig15-demo fig16-demo docs-check
 
 all: check
 
@@ -81,6 +83,18 @@ serve-demo:
 	sh scripts/serve_smoke.sh
 
 serve-smoke: serve-demo
+
+# Prints the Figure 15 three-system comparison: multiscatter and the
+# dual-receiver baselines behind drywall, plus the Double-decker
+# single-receiver curve across wall materials and its waveform-level
+# superposition-decode BER. Deterministic for a fixed seed.
+fig15-demo:
+	$(GO) run ./cmd/msbench -experiment fig15
+
+# Fails on dead intra-repo links in the markdown docs (docs/*.md,
+# README.md, ROADMAP.md, EXPERIMENTS.md).
+docs-check:
+	sh scripts/docs_check.sh
 
 # Prints the fig16 concurrency curve: n co-located 802.11n tags decoded
 # jointly via subcarrier groups vs single-winner capture, plus the

@@ -8,7 +8,7 @@
 //
 //	msfleet [-scenario office] [-tags 50] [-floor 30x50] [-receivers 2]
 //	        [-span 10s] [-seed 1] [-workers 0] [-capture 10] [-joint 0]
-//	        [-shadow 0]
+//	        [-shadow 0] [-phase 0] [-baseline doubledecker]
 //	        [-lux 0] [-top 5] [-json fleet.json]
 //	        [-journal run.journal] [-replay golden.journal]
 //	        [-trace run.jsonl] [-trace-sample 100] [-trace-format chrome]
@@ -50,6 +50,8 @@ var (
 	journal   = flag.String("journal", "", "write the run's replay journal to this path")
 	replayRef = flag.String("replay", "", "diff the run against a recorded journal; exit 1 on drift")
 	shadow    = flag.Float64("shadow", 0, "log-normal shadowing σ in dB (0 disables)")
+	phase     = flag.Float64("phase", 0, "phase-aware complex channel: residual drift cap in Hz (0 disables; see docs/CHANNELS.md)")
+	baseSys   = flag.String("baseline", "", "decoding architecture: empty = multiscatter, 'doubledecker' = single-receiver superposition decoding")
 )
 
 func main() {
@@ -72,18 +74,20 @@ func main() {
 	// CLI run and a service job with the same (seed, config) are the
 	// same run by construction.
 	jc := serve.JobConfig{
-		Scenario:       *scenario,
-		Tags:           *tags,
-		FloorW:         w,
-		FloorH:         h,
-		Receivers:      *receivers,
-		SpanMS:         int(*span / time.Millisecond),
-		Seed:           *seed,
-		CaptureDB:      *capture,
-		ConcurrentOFDM: *joint,
-		BucketMS:       *bucketMS,
-		ShadowSigmaDB:  *shadow,
-		Lux:            *lux,
+		Scenario:        *scenario,
+		Tags:            *tags,
+		FloorW:          w,
+		FloorH:          h,
+		Receivers:       *receivers,
+		SpanMS:          int(*span / time.Millisecond),
+		Seed:            *seed,
+		CaptureDB:       *capture,
+		ConcurrentOFDM:  *joint,
+		BucketMS:        *bucketMS,
+		ShadowSigmaDB:   *shadow,
+		Lux:             *lux,
+		PhaseMaxDriftHz: *phase,
+		Baseline:        *baseSys,
 	}
 	cfg, err := jc.FleetConfig()
 	if err != nil {

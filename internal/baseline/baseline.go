@@ -1,11 +1,16 @@
 // Package baseline implements the prior-art backscatter systems
-// multiscatter is evaluated against: Hitchhike and FreeRider, whose
-// codeword-translation decoding requires the ORIGINAL packet from a
-// second, synchronized receiver. The package models the two failure
-// modes the paper demonstrates (Figures 9 and 15): original-channel
-// dependence under occlusion, and modulation offsets that break
-// two-receiver codeword alignment. It also carries the Table 1
-// capability matrix.
+// multiscatter is evaluated against. Three decoding architectures are
+// modelled: Hitchhike and FreeRider, whose codeword-translation
+// decoding requires the ORIGINAL packet from a second, synchronized
+// receiver — with the two failure modes the paper demonstrates
+// (Figures 9 and 15): original-channel dependence under occlusion, and
+// modulation offsets that break two-receiver codeword alignment — and
+// Double-decker (arXiv 2408.16280, same group), which decodes the
+// productive carrier AND the tag layer from the superposed
+// excitation+backscatter stream with a single commodity receiver using
+// the pilot-estimated complex channel (internal/channel's Coeff /
+// Estimator), trading symbol efficiency for original-channel immunity.
+// The package also carries the Table 1 capability matrix.
 package baseline
 
 import (
@@ -40,14 +45,16 @@ var Table1 = map[string]Capability{
 	"FreeRider":        {false, true, false},
 	"X-Tandem":         {false, true, false},
 	"PLoRa":            {false, true, false},
+	"Double-decker":    {false, true, true},
 	"Multiscatter":     {true, true, true},
 }
 
-// Table1Order lists the rows in the paper's order.
+// Table1Order lists the rows in the paper's order, with Double-decker
+// appended before Multiscatter (it postdates the paper's table).
 var Table1Order = []string{
 	"WiFi backscatter", "FS backscatter", "Interscatter", "Passive WiFi",
 	"LoRa backscatter", "Hitchhike", "FreeRider", "X-Tandem", "PLoRa",
-	"Multiscatter",
+	"Double-decker", "Multiscatter",
 }
 
 // System identifies a baseline decoding architecture.
@@ -59,14 +66,22 @@ const (
 	// FreeRider extends codeword translation to 802.11g/BLE/ZigBee, still
 	// with two receivers.
 	FreeRider
+	// DoubleDecker decodes carrier and tag layers jointly from the
+	// superposed stream at a single commodity receiver, using a
+	// pilot-estimated complex channel instead of a second radio.
+	DoubleDecker
 )
 
 // String names the system.
 func (s System) String() string {
-	if s == FreeRider {
+	switch s {
+	case FreeRider:
 		return "FreeRider"
+	case DoubleDecker:
+		return "Double-decker"
+	default:
+		return "Hitchhike"
 	}
-	return "Hitchhike"
 }
 
 // XORTagBER returns the tag-data bit error rate of two-receiver XOR

@@ -10,8 +10,8 @@ import (
 )
 
 func TestTable1Matrix(t *testing.T) {
-	if len(Table1) != 10 || len(Table1Order) != 10 {
-		t.Fatalf("Table 1 should have 10 systems")
+	if len(Table1) != 11 || len(Table1Order) != 11 {
+		t.Fatalf("Table 1 should have 11 systems")
 	}
 	for _, name := range Table1Order {
 		if _, ok := Table1[name]; !ok {
@@ -161,7 +161,8 @@ func TestFig15ThroughputShape(t *testing.T) {
 }
 
 func TestSystemString(t *testing.T) {
-	if Hitchhike.String() != "Hitchhike" || FreeRider.String() != "FreeRider" {
+	if Hitchhike.String() != "Hitchhike" || FreeRider.String() != "FreeRider" ||
+		DoubleDecker.String() != "Double-decker" {
 		t.Fatal("names wrong")
 	}
 }

@@ -1,0 +1,136 @@
+package baseline
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"multiscatter/internal/channel"
+	"multiscatter/internal/overlay"
+	"multiscatter/internal/radio"
+)
+
+func TestDoubleDeckerSINR(t *testing.T) {
+	got := DoubleDeckerSINRdB(DoubleDeckerConfig{})
+	// 8 dB SNR with −5 dB residual leak → ≈3.24 dB, minus ≈0.14 dB
+	// tracking penalty at 100 Hz over 1 ms.
+	if got < 2.5 || got > 3.5 {
+		t.Errorf("default SINR = %v dB, want ≈3.1", got)
+	}
+	better := DoubleDeckerSINRdB(DoubleDeckerConfig{CancellationDB: 45})
+	if better <= got {
+		t.Errorf("stronger cancellation must raise SINR: %v vs %v", better, got)
+	}
+	drifty := DoubleDeckerSINRdB(DoubleDeckerConfig{DriftHz: 400})
+	if drifty >= got {
+		t.Errorf("faster drift must cost SINR: %v vs %v", drifty, got)
+	}
+}
+
+func TestDoubleDeckerThroughputWorkingPoint(t *testing.T) {
+	tr := overlay.DefaultTraffic(radio.Protocol80211b)
+	kbps := DoubleDeckerThroughputKbps(DoubleDeckerConfig{}, tr, radio.Protocol80211b)
+	// 250 bits/packet × 0.9 pilot efficiency × ~401 pkt/s ≈ 90 kbps:
+	// between Hitchhike (≈69 behind drywall) and multiscatter (≈100).
+	if kbps < 80 || kbps > 100 {
+		t.Errorf("802.11b throughput = %v kbps, want ≈90", kbps)
+	}
+	hh := TagThroughputKbps(DecodeConfig{
+		System: Hitchhike, OriginalSNRdB: 8, Wall: channel.Drywall,
+		BackscatterBER: 0.002, DistanceM: 4,
+	}, tr, radio.Protocol80211b)
+	if kbps <= hh {
+		t.Errorf("Double-decker (%v) should beat occluded Hitchhike (%v)", kbps, hh)
+	}
+}
+
+// TestDoubleDeckerWallImmunity pins the architectural claim: throughput
+// is a pure function of the receiver's own link, so nothing in the
+// config references a wall and the BER stays flat where the
+// two-receiver baselines collapse.
+func TestDoubleDeckerWallImmunity(t *testing.T) {
+	ber := DoubleDeckerTagBER(DoubleDeckerConfig{}, radio.Protocol80211b)
+	if ber > 1e-5 {
+		t.Errorf("default tag BER = %v, want tiny after γ·spread despread", ber)
+	}
+	for _, wall := range []channel.Material{channel.NoWall, channel.Drywall, channel.Wood, channel.Concrete} {
+		hh := TagBER(DecodeConfig{
+			System: Hitchhike, OriginalSNRdB: 8, Wall: wall,
+			BackscatterBER: 0.002, DistanceM: 4,
+		})
+		if wall != channel.NoWall && hh < ber {
+			t.Errorf("occluded Hitchhike BER %v should exceed Double-decker %v behind %v", hh, ber, wall)
+		}
+	}
+}
+
+func TestDoubleDeckerDefaultsIdempotent(t *testing.T) {
+	d := DoubleDeckerConfig{}.withDefaults()
+	if d != d.withDefaults() {
+		t.Error("withDefaults must be idempotent")
+	}
+	if d.EstimateHorizon != time.Millisecond || d.DriftHz != 100 {
+		t.Errorf("unexpected defaults: %+v", d)
+	}
+}
+
+// ddPilots builds a deterministic unit-amplitude reference stream.
+func ddPilots(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]complex128, n)
+	for i := range out {
+		s, c := math.Sincos(rng.Float64() * 2 * math.Pi)
+		out[i] = complex(c, s)
+	}
+	return out
+}
+
+func TestDecodeSuperposedTag(t *testing.T) {
+	const groupLen, pilotGroups = 64, 4
+	want := []byte{1, 0, 0, 1, 1, 1, 0, 1}
+	groups := pilotGroups + 1 + len(want)
+	ref := ddPilots(groups*groupLen, 21)
+	hd := complex(0.9, -0.3)
+	hb := complex(0.05, 0.08)
+	rx := make([]complex128, len(ref))
+	for g := 0; g < groups; g++ {
+		tag := 0.0 // silent during pilot groups
+		switch {
+		case g == pilotGroups:
+			tag = 1 // known training bit
+		case g > pilotGroups:
+			tag = -1
+			if want[g-pilotGroups-1] == 1 {
+				tag = 1
+			}
+		}
+		for i := g * groupLen; i < (g+1)*groupLen; i++ {
+			rx[i] = ref[i] * (hd + complex(tag, 0)*hb)
+		}
+	}
+	channel.AWGN(rx, 20, rand.New(rand.NewSource(4)))
+	got, err := DecodeSuperposedTag(rx, ref, groupLen, pilotGroups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("decoded %v, want %v", got, want)
+	}
+}
+
+func TestDecodeSuperposedTagErrors(t *testing.T) {
+	if _, err := DecodeSuperposedTag(nil, nil, 0, 1); err == nil {
+		t.Error("want error for zero groupLen")
+	}
+	ref := ddPilots(3*8, 1)
+	if _, err := DecodeSuperposedTag(ref, ref, 8, 2); err == nil {
+		t.Error("want error when no data groups remain")
+	}
+	// Identical rx/ref → training group carries no backscatter.
+	ref = ddPilots(6*8, 2)
+	if _, err := DecodeSuperposedTag(ref, ref, 8, 2); err == nil {
+		t.Error("want error for zero backscatter energy")
+	}
+}

@@ -1,0 +1,103 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"time"
+)
+
+// Estimate is one pilot-based complex channel estimate.
+type Estimate struct {
+	// H is the least-squares flat coefficient Σ rx·conj(ref) / Σ|ref|².
+	H complex128
+	// Pilots is the number of samples the estimate integrated.
+	Pilots int
+	// ResidualPower is the mean |rx − H·ref|² over the pilots — the
+	// noise-plus-interference floor left after removing the estimated
+	// channel, which Double-decker uses as its self-interference gauge.
+	ResidualPower float64
+}
+
+// Coeff projects the estimate into the (GainDB, PhaseRad) domain.
+func (e Estimate) Coeff() Coeff {
+	return Coeff{
+		GainDB:   20 * math.Log10(cmplx.Abs(e.H)),
+		PhaseRad: WrapPhase(cmplx.Phase(e.H)),
+	}
+}
+
+// MaxTrackingPenaltyDB caps the coherent-demodulation loss the tracking
+// model reports: beyond it the estimate has fully decohered within one
+// horizon and the link is effectively lost.
+const MaxTrackingPenaltyDB = 60
+
+// Estimator performs pilot-based least-squares channel estimation: the
+// stage coherent demodulators (and the Double-decker superposition
+// decoder) run on known reference samples before slicing data. It is
+// stateless; every method is a pure function of its arguments, so
+// concurrent consumers share one value safely.
+type Estimator struct{}
+
+// Estimate computes the flat LS coefficient of rx against the clean
+// pilot reference ref, over their common prefix. It errors when there
+// are no overlapping samples or the reference carries no energy.
+func (Estimator) Estimate(rx, ref []complex128) (Estimate, error) {
+	n := len(rx)
+	if len(ref) < n {
+		n = len(ref)
+	}
+	if n == 0 {
+		return Estimate{}, fmt.Errorf("channel: estimate needs overlapping samples (rx %d, ref %d)", len(rx), len(ref))
+	}
+	var num complex128
+	var den float64
+	for i := 0; i < n; i++ {
+		num += rx[i] * cmplx.Conj(ref[i])
+		den += real(ref[i])*real(ref[i]) + imag(ref[i])*imag(ref[i])
+	}
+	if den == 0 {
+		return Estimate{}, fmt.Errorf("channel: estimate reference has zero energy over %d samples", n)
+	}
+	h := num / complex(den, 0)
+	var resid float64
+	for i := 0; i < n; i++ {
+		d := rx[i] - h*ref[i]
+		resid += real(d)*real(d) + imag(d)*imag(d)
+	}
+	return Estimate{H: h, Pilots: n, ResidualPower: resid / float64(n)}, nil
+}
+
+// DriftHz recovers the residual drift rate from two estimates of the
+// same link taken dt apart: the phase slope Δφ/(2π·Δt). Unambiguous
+// while |drift| < 1/(2·dt) (the phase-wrap limit); re-estimate faster
+// to track faster drift.
+func (Estimator) DriftHz(first, second Estimate, dt time.Duration) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	dphi := cmplx.Phase(second.H * cmplx.Conj(first.H))
+	return dphi / (2 * math.Pi * dt.Seconds())
+}
+
+// TrackingPenaltyDB is the coherent-combining SNR loss of demodulating
+// with a pilot estimate that ages for `horizon` while the phase drifts
+// at driftHz: the constellation rotates by up to Θ = π·|f|·T between
+// re-estimations, and integrating across the rotation scales the
+// correlator output by sinc(Θ) = sin(Θ)/Θ. The loss is −20·log10 of
+// that, capped at MaxTrackingPenaltyDB once Θ reaches π (a full
+// decorrelation). Zero drift or a zero horizon costs nothing.
+func (Estimator) TrackingPenaltyDB(driftHz float64, horizon time.Duration) float64 {
+	theta := math.Pi * math.Abs(driftHz) * horizon.Seconds()
+	if theta <= 0 {
+		return 0
+	}
+	if theta >= math.Pi {
+		return MaxTrackingPenaltyDB
+	}
+	pen := -20 * math.Log10(math.Sin(theta)/theta)
+	if pen > MaxTrackingPenaltyDB {
+		pen = MaxTrackingPenaltyDB
+	}
+	return pen
+}

@@ -1,0 +1,122 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// pilots builds a deterministic QPSK-ish pilot sequence.
+func pilots(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]complex128, n)
+	for i := range out {
+		s, c := math.Sincos(rng.Float64() * 2 * math.Pi)
+		out[i] = complex(c, s)
+	}
+	return out
+}
+
+func TestEstimatorRecoversCoefficient(t *testing.T) {
+	ref := pilots(256, 3)
+	want := Coeff{GainDB: -34, PhaseRad: 1.1}.H()
+	rx := make([]complex128, len(ref))
+	for i := range rx {
+		rx[i] = ref[i] * want
+	}
+	est, err := Estimator{}.Estimate(rx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(est.H-want) > 1e-12 {
+		t.Errorf("Ĥ = %v, want %v", est.H, want)
+	}
+	if est.Pilots != 256 {
+		t.Errorf("pilots = %d, want 256", est.Pilots)
+	}
+	if est.ResidualPower > 1e-20 {
+		t.Errorf("noiseless residual = %v, want ≈0", est.ResidualPower)
+	}
+	c := est.Coeff()
+	if math.Abs(c.GainDB-(-34)) > 1e-9 || math.Abs(c.PhaseRad-1.1) > 1e-9 {
+		t.Errorf("estimate projection = %+v, want {-34, 1.1}", c)
+	}
+}
+
+func TestEstimatorUnderNoise(t *testing.T) {
+	ref := pilots(2048, 5)
+	want := Coeff{GainDB: -20, PhaseRad: -0.7}.H()
+	rx := make([]complex128, len(ref))
+	for i := range rx {
+		rx[i] = ref[i] * want
+	}
+	AWGN(rx, 10, rand.New(rand.NewSource(9)))
+	est, err := Estimator{}.Estimate(rx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(est.H-want) > 0.02 {
+		t.Errorf("Ĥ = %v too far from %v at 10 dB over 2048 pilots", est.H, want)
+	}
+	if est.ResidualPower <= 0 {
+		t.Errorf("residual should capture the noise floor, got %v", est.ResidualPower)
+	}
+}
+
+func TestEstimatorErrors(t *testing.T) {
+	if _, err := (Estimator{}).Estimate(nil, nil); err == nil {
+		t.Error("want error for empty inputs")
+	}
+	if _, err := (Estimator{}).Estimate([]complex128{1}, []complex128{0}); err == nil {
+		t.Error("want error for zero-energy reference")
+	}
+}
+
+func TestEstimatorDriftHz(t *testing.T) {
+	ref := pilots(128, 17)
+	drift := PhaseDrift{Phi0Rad: 0.3, RateHz: 120}
+	snap := func(at time.Duration) Estimate {
+		h := Coeff{GainDB: -25, PhaseRad: drift.At(at)}.H()
+		rx := make([]complex128, len(ref))
+		for i := range rx {
+			rx[i] = ref[i] * h
+		}
+		est, err := Estimator{}.Estimate(rx, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+	dt := time.Millisecond
+	got := Estimator{}.DriftHz(snap(0), snap(dt), dt)
+	if math.Abs(got-120) > 1e-6 {
+		t.Errorf("DriftHz = %v, want 120", got)
+	}
+	if got := (Estimator{}).DriftHz(Estimate{H: 1}, Estimate{H: 1i}, 0); got != 0 {
+		t.Errorf("zero dt must report 0 drift, got %v", got)
+	}
+}
+
+func TestTrackingPenaltyDB(t *testing.T) {
+	e := Estimator{}
+	if got := e.TrackingPenaltyDB(0, time.Millisecond); got != 0 {
+		t.Errorf("zero drift penalty = %v, want 0", got)
+	}
+	if got := e.TrackingPenaltyDB(500, 0); got != 0 {
+		t.Errorf("zero horizon penalty = %v, want 0", got)
+	}
+	slow := e.TrackingPenaltyDB(50, time.Millisecond)
+	fast := e.TrackingPenaltyDB(400, time.Millisecond)
+	if !(slow > 0 && fast > slow) {
+		t.Errorf("penalty not monotone: 50 Hz → %v, 400 Hz → %v", slow, fast)
+	}
+	if got := e.TrackingPenaltyDB(-400, time.Millisecond); got != fast {
+		t.Errorf("penalty must be sign-symmetric: %v vs %v", got, fast)
+	}
+	// Θ ≥ π: full decorrelation within one horizon.
+	if got := e.TrackingPenaltyDB(1000, time.Millisecond); got != MaxTrackingPenaltyDB {
+		t.Errorf("decorrelated penalty = %v, want cap %v", got, MaxTrackingPenaltyDB)
+	}
+}

@@ -208,7 +208,7 @@ func TestRunTradeoffsFig12(t *testing.T) {
 
 func TestRunOcclusionFig15(t *testing.T) {
 	res := RunOcclusion()
-	if len(res) != 4 {
+	if len(res) != 5 {
 		t.Fatalf("rows = %d", len(res))
 	}
 	vals := map[string]float64{}
@@ -216,8 +216,15 @@ func TestRunOcclusionFig15(t *testing.T) {
 		vals[r.System] = r.TagKbps
 	}
 	// Paper: multiscatter (136/121) > Hitchhike (94) > FreeRider (33).
+	// Double-decker (arXiv 2408.16280) lands between multiscatter and the
+	// occluded dual-receiver baselines: no original receiver to occlude,
+	// but a γ·spread capacity budget.
 	if !(vals["multiscatter BLE"] > vals["Hitchhike"]) {
 		t.Errorf("multiscatter BLE %v not above Hitchhike %v", vals["multiscatter BLE"], vals["Hitchhike"])
+	}
+	if dd := vals["Double-decker"]; !(dd > vals["Hitchhike"] && dd < vals["multiscatter 802.11b"]) {
+		t.Errorf("Double-decker %v not between Hitchhike %v and multiscatter 11b %v",
+			dd, vals["Hitchhike"], vals["multiscatter 802.11b"])
 	}
 	if !(vals["multiscatter 802.11b"] > vals["Hitchhike"]) {
 		t.Errorf("multiscatter 11b %v not above Hitchhike %v", vals["multiscatter 802.11b"], vals["Hitchhike"])

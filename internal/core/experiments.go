@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -333,12 +334,124 @@ func RunOcclusion() []OcclusionResult {
 	hh := baseline.TagThroughputKbps(cfg, trB, radio.Protocol80211b)
 	cfg.System = baseline.FreeRider
 	fr := baseline.TagThroughputKbps(cfg, trB, radio.Protocol80211b)
+	dd := baseline.DoubleDeckerThroughputKbps(baseline.DoubleDeckerConfig{}, trB, radio.Protocol80211b)
 	return []OcclusionResult{
 		{"multiscatter BLE", msBLE},
 		{"multiscatter 802.11b", msB},
+		{"Double-decker", dd},
 		{"Hitchhike", hh},
 		{"FreeRider", fr},
 	}
+}
+
+// OcclusionSweepPoint is one wall material of the extended Figure 15
+// sweep: the two-receiver baselines against Double-decker's
+// single-receiver decoding as the original channel degrades.
+type OcclusionSweepPoint struct {
+	Wall channel.Material
+	// Tag throughputs at the Figure 15 working point (802.11b carrier).
+	DoubleDeckerKbps float64
+	HitchhikeKbps    float64
+	FreeRiderKbps    float64
+	// DoubleDeckerBER is the analytic tag-layer BER (wall-independent).
+	DoubleDeckerBER float64
+}
+
+// RunOcclusionSweep extends Figure 15 across wall materials: Hitchhike
+// and FreeRider decay with the occluded original channel, while
+// Double-decker is flat — its single receiver never sees the wall.
+func RunOcclusionSweep() []OcclusionSweepPoint {
+	trB := overlay.DefaultTraffic(radio.Protocol80211b)
+	ddCfg := baseline.DoubleDeckerConfig{}
+	dd := baseline.DoubleDeckerThroughputKbps(ddCfg, trB, radio.Protocol80211b)
+	ddBER := baseline.DoubleDeckerTagBER(ddCfg, radio.Protocol80211b)
+	var out []OcclusionSweepPoint
+	for _, wall := range []channel.Material{channel.NoWall, channel.Drywall, channel.Wood, channel.Concrete} {
+		cfg := baseline.DecodeConfig{
+			OriginalSNRdB:  8,
+			Wall:           wall,
+			BackscatterBER: 0.002,
+			DistanceM:      4,
+		}
+		cfg.System = baseline.Hitchhike
+		hh := baseline.TagThroughputKbps(cfg, trB, radio.Protocol80211b)
+		cfg.System = baseline.FreeRider
+		fr := baseline.TagThroughputKbps(cfg, trB, radio.Protocol80211b)
+		out = append(out, OcclusionSweepPoint{
+			Wall:             wall,
+			DoubleDeckerKbps: dd,
+			HitchhikeKbps:    hh,
+			FreeRiderKbps:    fr,
+			DoubleDeckerBER:  ddBER,
+		})
+	}
+	return out
+}
+
+// RunDoubleDeckerDecode Monte-Carlos the waveform-level single-receiver
+// decoder: real 802.11b DSSS excitation frames superposed with a
+// backscatter copy 25 dB down, the tag keying one bit per γ·spread
+// symbol group with a 100 Hz residual phase drift, AWGN at 15 dB —
+// decoded by baseline.DecodeSuperposedTag from the one received stream.
+// Returns the measured tag-bit error rate over the given packet count.
+func RunDoubleDeckerDecode(packets int, seed int64) (float64, error) {
+	if packets <= 0 {
+		return 0, fmt.Errorf("core: need at least one packet, got %d", packets)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mod := dsss.NewModulator(dsss.Config{Rate: dsss.Rate1Mbps})
+	ddCfg := baseline.DoubleDeckerConfig{}.WithDefaults()
+	g := overlay.Gammas[radio.Protocol80211b]
+	const pilotGroups = 2
+	var bits, errs int
+	for pkt := 0; pkt < packets; pkt++ {
+		payload := make([]byte, 32)
+		rng.Read(payload)
+		clean, info := mod.Modulate(radio.Packet{Protocol: radio.Protocol80211b, Payload: payload})
+		groupLen := info.SamplesPerSymbol * g * baseline.DoubleDeckerSpread
+		groups := len(clean.IQ) / groupLen
+		if groups < pilotGroups+2 {
+			return 0, fmt.Errorf("core: frame too short for superposition decode (%d groups)", groups)
+		}
+		want := make([]byte, groups-pilotGroups-1)
+		for i := range want {
+			want[i] = byte(rng.Intn(2))
+		}
+		// Direct path at unit gain; backscatter DirectToBackscatterDB
+		// below it with its own phase, drifting across the frame.
+		hb := channel.Coeff{GainDB: -ddCfg.DirectToBackscatterDB, PhaseRad: 0}
+		drift := channel.NewPhaseDrift(rng, ddCfg.DriftHz)
+		rx := make([]complex128, len(clean.IQ))
+		for gi := 0; gi < groups; gi++ {
+			tag := 0.0 // silent pilots
+			switch {
+			case gi == pilotGroups:
+				tag = 1
+			case gi > pilotGroups:
+				tag = -1
+				if want[gi-pilotGroups-1] == 1 {
+					tag = 1
+				}
+			}
+			t := time.Duration(float64(gi*groupLen) / clean.Rate * float64(time.Second))
+			h := drift.Apply(hb, t).H()
+			for i := gi * groupLen; i < (gi+1)*groupLen; i++ {
+				rx[i] = clean.IQ[i] * (1 + complex(tag, 0)*h)
+			}
+		}
+		channel.AWGN(rx, 15, rng)
+		got, err := baseline.DecodeSuperposedTag(rx, clean.IQ, groupLen, pilotGroups)
+		if err != nil {
+			return 0, err
+		}
+		for i := range want {
+			bits++
+			if got[i] != want[i] {
+				errs++
+			}
+		}
+	}
+	return float64(errs) / float64(bits), nil
 }
 
 // CollisionResult is one protocol's throughput with and without a

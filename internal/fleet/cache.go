@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"multiscatter/internal/baseline"
 	"multiscatter/internal/channel"
 	"multiscatter/internal/core"
 	"multiscatter/internal/overlay"
@@ -30,8 +31,16 @@ type linkEntry struct {
 	// InRange reports whether the receiver still synchronizes.
 	InRange bool
 	// PERTag is the tag-data packet error rate under the protocol's
-	// default traffic shape and the entry's mode.
+	// default traffic shape and the entry's mode. On phase-aware runs
+	// it carries the coherent receiver's drift-tracking penalty (and,
+	// under the Double-decker baseline, the residual self-interference
+	// leakage); RSSIdBm and InRange stay on the magnitude surface.
 	PERTag float64
+	// PhaseRad/DriftHz are the link's complex-channel initial phase and
+	// residual drift rate, drawn from StreamChannelPhase; zero when the
+	// phase-aware channel is disabled.
+	PhaseRad float64
+	DriftHz  float64
 }
 
 // bitsKey caches sim.PacketBits per (protocol, on-air duration, mode);
@@ -76,6 +85,11 @@ type linkCache struct {
 	bucketM float64
 	seed    int64
 	links   map[radio.Protocol]*core.Link
+	// phase enables the phase-aware complex channel (nil = magnitude
+	// only); dd applies the Double-decker single-receiver model (tag
+	// capacity scaling + self-interference penalty).
+	phase *PhaseConfig
+	dd    bool
 
 	mu      sync.RWMutex
 	entries map[linkKey]linkEntry
@@ -87,7 +101,7 @@ type linkCache struct {
 	bitsMisses  atomic.Int64
 }
 
-func newLinkCache(ch *channel.Model, bucketM float64, seed int64) *linkCache {
+func newLinkCache(ch *channel.Model, bucketM float64, seed int64, phase *PhaseConfig, dd bool) *linkCache {
 	links := make(map[radio.Protocol]*core.Link, len(radio.Protocols))
 	for _, p := range radio.Protocols {
 		links[p] = core.NewLink(p, ch)
@@ -96,6 +110,8 @@ func newLinkCache(ch *channel.Model, bucketM float64, seed int64) *linkCache {
 		bucketM: bucketM,
 		seed:    seed,
 		links:   links,
+		phase:   phase,
+		dd:      dd,
 		entries: map[linkKey]linkEntry{},
 		bits:    map[bitsKey]bitsEntry{},
 	}
@@ -139,7 +155,40 @@ func (c *linkCache) compute(k linkKey) linkEntry {
 	} else {
 		e.PERTag = 1
 	}
+	if c.phase != nil {
+		// One RNG per site, keyed exactly like StreamFleetShadow, so the
+		// entry stays a pure function of (seed, key) at any worker count.
+		drift := channel.NewPhaseDrift(
+			sim.SeedRNGAt(c.seed, sim.StreamChannelPhase, k.site()), c.phase.MaxDriftHz)
+		e.PhaseRad = drift.Phi0Rad
+		e.DriftHz = drift.RateHz
+		// The coherent receiver re-decides the PER at the phase-aware
+		// working point: tracking loss over the estimate horizon, minus
+		// the combining gain of a fresh estimate, plus (Double-decker
+		// only) the residual direct-path leakage — all folded in as
+		// extra shadowing loss. RSSIdBm/InRange above are untouched:
+		// signal strength is a magnitude, only decoding quality moves.
+		pen := channel.Estimator{}.TrackingPenaltyDB(drift.RateHz, c.phase.EstimateHorizon) -
+			c.phase.CoherentGainDB
+		if c.dd {
+			pen += baseline.DoubleDeckerLeakPenaltyDB(baseline.DoubleDeckerConfig{})
+		}
+		if e.InRange {
+			_, e.PERTag = l.PERsAt(d, shadow+pen, k.mode, overlay.DefaultTraffic(k.protocol))
+		}
+	}
 	return e
+}
+
+// scaleTagBits applies the Double-decker capacity budget to a packet's
+// tag-bit count: each tag bit spans DoubleDeckerSpread γ-groups and a
+// DoubleDeckerPilotFraction of groups carries pilots instead of data.
+// Identity on non-Double-decker runs.
+func (c *linkCache) scaleTagBits(tag int) int {
+	if !c.dd {
+		return tag
+	}
+	return int(float64(tag) * (1 - baseline.DoubleDeckerPilotFraction) / baseline.DoubleDeckerSpread)
 }
 
 // fill materializes the entry for (p, bucket, mode); called serially
@@ -156,7 +205,7 @@ func (c *linkCache) fillBits(p radio.Protocol, dur time.Duration, mode overlay.M
 	k := bitsKey{p, dur, mode}
 	if _, ok := c.bits[k]; !ok {
 		prod, tag := sim.PacketBits(p, dur, mode)
-		c.bits[k] = bitsEntry{productive: prod, tag: tag}
+		c.bits[k] = bitsEntry{productive: prod, tag: c.scaleTagBits(tag)}
 	}
 }
 
@@ -210,7 +259,8 @@ func (c *linkCache) peekBits(p radio.Protocol, dur time.Duration, mode overlay.M
 	if ok {
 		return e.productive, e.tag
 	}
-	return sim.PacketBits(p, dur, mode)
+	prod, tag := sim.PacketBits(p, dur, mode)
+	return prod, c.scaleTagBits(tag)
 }
 
 // packetBits returns the cached overlay capacity of one packet.
@@ -230,6 +280,7 @@ func (c *linkCache) packetBits(p radio.Protocol, dur time.Duration, mode overlay
 		return e.productive, e.tag
 	}
 	prod, tag := sim.PacketBits(p, dur, mode)
+	tag = c.scaleTagBits(tag)
 	c.bits[k] = bitsEntry{productive: prod, tag: tag}
 	return prod, tag
 }

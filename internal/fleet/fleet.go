@@ -137,6 +137,22 @@ type Config struct {
 	// DistanceBucketM is the calibrated-link cache resolution in metres
 	// (default 0.25).
 	DistanceBucketM float64
+	// Phase, when non-nil, enables the phase-aware complex channel: each
+	// cached link additionally draws a channel.PhaseDrift from
+	// sim.SeedRNGAt(Seed, StreamChannelPhase, cacheKey), and the
+	// coherent receiver's drift-tracking penalty (minus its combining
+	// gain) is folded into the link's PER working point. RSSI and range
+	// stay on the magnitude surface, and a nil Phase leaves every number
+	// byte-identical to the magnitude-only model — the backward-compat
+	// contract of docs/CHANNELS.md.
+	Phase *PhaseConfig
+	// Baseline selects the receiver decoding architecture
+	// (BaselineMultiscatter or BaselineDoubleDecker). Double-decker
+	// implies a phase-aware channel: a nil Phase is auto-enabled with
+	// defaults, the per-packet tag capacity is scaled by its γ·spread
+	// and pilot budget, and the residual direct-path leakage joins the
+	// link penalty.
+	Baseline BaselineSystem
 	// Obs receives the run's metrics (counters, stage timers, the
 	// per-shard duration histogram); nil defaults to obs.Default(). The
 	// fleet.* counters recorded there are derived from the deterministic
@@ -150,6 +166,49 @@ type Config struct {
 	// the drained stream is byte-identical at any Workers value. nil
 	// (the default) keeps the hot path to one pointer check per packet.
 	Trace *ptrace.Recorder
+}
+
+// BaselineSystem selects the receiver decoding architecture of a fleet
+// run. The zero value is the multiscatter overlay receiver.
+type BaselineSystem string
+
+const (
+	// BaselineMultiscatter is the default multiscatter overlay receiver.
+	BaselineMultiscatter BaselineSystem = ""
+	// BaselineDoubleDecker decodes tag bits from the superposed
+	// excitation+backscatter stream at a single commodity receiver
+	// (baseline.DoubleDecker): pilot-estimated complex channel, γ·spread
+	// symbol groups per tag bit, residual direct-path self-interference.
+	BaselineDoubleDecker BaselineSystem = "doubledecker"
+)
+
+// PhaseConfig parameterizes the phase-aware complex channel of a fleet
+// run. Zero fields take the defaults noted per field.
+type PhaseConfig struct {
+	// MaxDriftHz bounds each link's residual phase drift rate; the
+	// per-link rate is drawn uniformly from ±MaxDriftHz (default 200).
+	MaxDriftHz float64
+	// CoherentGainDB is the SNR the coherent receiver gains from
+	// phase-aligned combining when its estimate is fresh (default 1).
+	CoherentGainDB float64
+	// EstimateHorizon is how long one pilot estimate must stay coherent
+	// between re-estimations (default 1 ms).
+	EstimateHorizon time.Duration
+}
+
+// withDefaults fills zero fields; called on a copy so the caller's
+// struct is never mutated.
+func (p PhaseConfig) withDefaults() PhaseConfig {
+	if p.MaxDriftHz <= 0 {
+		p.MaxDriftHz = 200
+	}
+	if p.CoherentGainDB == 0 {
+		p.CoherentGainDB = 1
+	}
+	if p.EstimateHorizon <= 0 {
+		p.EstimateHorizon = time.Millisecond
+	}
+	return p
 }
 
 // PlaceGrid places n tags on a w×h-metre floor plan in a near-square
@@ -349,6 +408,18 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.DistanceBucketM <= 0 {
 		cfg.DistanceBucketM = 0.25
 	}
+	switch cfg.Baseline {
+	case BaselineMultiscatter, BaselineDoubleDecker:
+	default:
+		return nil, fmt.Errorf("fleet: unknown baseline %q", cfg.Baseline)
+	}
+	if cfg.Baseline == BaselineDoubleDecker && cfg.Phase == nil {
+		cfg.Phase = &PhaseConfig{}
+	}
+	if cfg.Phase != nil {
+		pc := cfg.Phase.withDefaults()
+		cfg.Phase = &pc
+	}
 	if cfg.Obs == nil {
 		cfg.Obs = obs.Default()
 	}
@@ -391,7 +462,8 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	numBuckets := int(cfg.Span/bucketDur) + 1
 
 	// Per-tag state: receiver assignment, link-cache bucket, profile.
-	cache := newLinkCache(cfg.Channel, cfg.DistanceBucketM, cfg.Seed)
+	cache := newLinkCache(cfg.Channel, cfg.DistanceBucketM, cfg.Seed,
+		cfg.Phase, cfg.Baseline == BaselineDoubleDecker)
 	tags := make([]*tagRun, len(cfg.Tags))
 	modes := map[overlay.Mode]bool{}
 	for i, spec := range cfg.Tags {

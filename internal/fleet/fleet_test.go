@@ -301,7 +301,7 @@ func TestLinkCachePrefilled(t *testing.T) {
 }
 
 func TestLinkCacheFallbackPath(t *testing.T) {
-	c := newLinkCache(channel.NewLoS(), 0.25, 1)
+	c := newLinkCache(channel.NewLoS(), 0.25, 1, nil, false)
 	e := c.link(radio.ProtocolBLE, c.bucketOf(2), 1) // cold key → computed under lock
 	if !e.InRange {
 		t.Fatal("BLE at 2 m should be in range")
@@ -344,7 +344,7 @@ func TestLinkCacheZeroDistanceBucket(t *testing.T) {
 	// evaluated at the 0.1 m near-field clamp — not at a full bucket
 	// width (the old clamp-to-bucket-1 behaviour overstated path loss by
 	// 10·2·log10(0.25/0.1) ≈ 8 dB at the default resolution).
-	c := newLinkCache(channel.NewLoS(), 0.25, 1)
+	c := newLinkCache(channel.NewLoS(), 0.25, 1, nil, false)
 	if b := c.bucketOf(0); b != 0 {
 		t.Fatalf("bucketOf(0) = %d, want 0", b)
 	}

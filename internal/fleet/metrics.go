@@ -38,6 +38,12 @@ type TagResult struct {
 	// tag's receiver, shadowing included — the cached working point its
 	// downlink outcomes were decided at. Keyed by protocol name.
 	RSSIdBm map[string]float64 `json:"rssi_dbm"`
+	// PhaseRad/DriftHz are the per-protocol complex-channel initial
+	// phase and residual drift rate of the tag's link, keyed by protocol
+	// name. Present only on phase-aware runs (Config.Phase non-nil), so
+	// magnitude-only results marshal byte-identically to before.
+	PhaseRad map[string]float64 `json:"phase_rad,omitempty"`
+	DriftHz  map[string]float64 `json:"drift_hz,omitempty"`
 	// Outcomes histogram over all packets the tag saw.
 	Outcomes OutcomeCounts `json:"outcomes"`
 	// PerProtocol splits Outcomes by excitation protocol (keyed by
@@ -95,6 +101,12 @@ type Result struct {
 	Buckets []float64 `json:"buckets_kbps"`
 	// Cache reports calibrated-link cache effectiveness.
 	Cache CacheStats `json:"cache"`
+	// PhaseAware records whether the run used the phase-aware complex
+	// channel; Baseline names the receiver decoding architecture when it
+	// is not the default multiscatter receiver. Both are omitted on
+	// default runs so existing result encodings are unchanged.
+	PhaseAware bool   `json:"phase_aware,omitempty"`
+	Baseline   string `json:"baseline,omitempty"`
 }
 
 // outcomesOrder lists outcomes in display order.
@@ -115,6 +127,8 @@ func reduce(cfg Config, receivers []ReceiverSpec, tags []*tagRun, events, excite
 		NumReceivers:   len(receivers),
 		Outcomes:       OutcomeCounts{},
 		Buckets:        make([]float64, int(cfg.Span/bucketDur)+1),
+		PhaseAware:     cfg.Phase != nil,
+		Baseline:       string(cfg.Baseline),
 	}
 	perProto := make([]ProtocolTotals, 0, len(radio.Protocols))
 	protoIdx := map[radio.Protocol]int{}
@@ -137,6 +151,15 @@ func reduce(cfg Config, receivers []ReceiverSpec, tags []*tagRun, events, excite
 		}
 		for _, p := range radio.Protocols {
 			tr.RSSIdBm[p.String()] = cache.peek(p, t.bucket, t.mode).RSSIdBm
+		}
+		if cfg.Phase != nil {
+			tr.PhaseRad = map[string]float64{}
+			tr.DriftHz = map[string]float64{}
+			for _, p := range radio.Protocols {
+				e := cache.peek(p, t.bucket, t.mode)
+				tr.PhaseRad[p.String()] = e.PhaseRad
+				tr.DriftHz[p.String()] = e.DriftHz
+			}
 		}
 		for _, p := range radio.Protocols {
 			pt := &perProto[protoIdx[p]]

@@ -1,0 +1,22 @@
+package ofdm
+
+import (
+	"fmt"
+
+	"multiscatter/internal/channel"
+	"multiscatter/internal/radio"
+)
+
+// EstimateCoeff runs the pilot-based channel estimator over a received
+// waveform against its clean reference (e.g. the exciter's own
+// demodulated excitation, as JointDemodulator.SetExcitation consumes):
+// the flat LS coefficient across the whole frame. OFDM demodulation
+// itself is differential per subcarrier and does not need it, but the
+// joint multi-tag decoder and the Double-decker superposition baseline
+// both anchor their slicers on this estimate.
+func EstimateCoeff(rx, ref radio.Waveform) (channel.Estimate, error) {
+	if rx.Rate != ref.Rate {
+		return channel.Estimate{}, fmt.Errorf("ofdm: estimate rate mismatch (%g vs %g samples/s)", rx.Rate, ref.Rate)
+	}
+	return channel.Estimator{}.Estimate(rx.IQ, ref.IQ)
+}

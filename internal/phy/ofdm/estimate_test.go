@@ -1,0 +1,39 @@
+package ofdm
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"multiscatter/internal/channel"
+	"multiscatter/internal/radio"
+)
+
+func TestEstimateCoeffRecoversFlatGain(t *testing.T) {
+	mod := NewModulator(Config{Modulation: QPSK})
+	clean, _ := mod.Modulate(radio.Packet{Payload: []byte{1, 2, 3, 4, 5, 6, 7, 8}})
+	rx := clean.Clone()
+	gain := complex(0.6, -0.5)
+	for i := range rx.IQ {
+		rx.IQ[i] *= gain
+	}
+	channel.AWGN(rx.IQ, 20, rand.New(rand.NewSource(3)))
+	est, err := EstimateCoeff(rx, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(est.H-gain) > 0.01 {
+		t.Errorf("Ĥ = %v, want %v", est.H, gain)
+	}
+	if est.Pilots != len(clean.IQ) {
+		t.Errorf("integrated %d samples, want %d", est.Pilots, len(clean.IQ))
+	}
+}
+
+func TestEstimateCoeffRateMismatch(t *testing.T) {
+	a := radio.Waveform{IQ: []complex128{1}, Rate: SampleRate}
+	b := radio.Waveform{IQ: []complex128{1}, Rate: SampleRate / 2}
+	if _, err := EstimateCoeff(a, b); err == nil {
+		t.Error("want error on sample-rate mismatch")
+	}
+}

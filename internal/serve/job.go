@@ -70,6 +70,14 @@ type JobConfig struct {
 	// trace sampling one in TraceSample packets (1 = every packet),
 	// exposed at /jobs/{id}/trace and on the obs endpoint's /trace/last.
 	TraceSample int `json:"trace_sample,omitempty"`
+	// PhaseMaxDriftHz, when positive, enables the phase-aware complex
+	// channel with this residual drift cap (msfleet's -phase; see
+	// docs/CHANNELS.md). Other phase parameters take engine defaults.
+	PhaseMaxDriftHz float64 `json:"phase_max_drift_hz,omitempty"`
+	// Baseline selects the decoding architecture ("" = multiscatter,
+	// "doubledecker" = single-receiver superposition decoding, which
+	// auto-enables the phase-aware channel). Mirrors msfleet's -baseline.
+	Baseline string `json:"baseline,omitempty"`
 }
 
 // Normalize fills defaults in place. It is idempotent, and Manager
@@ -139,6 +147,10 @@ func (jc JobConfig) FleetConfig() (fleet.Config, error) {
 		ch.ShadowSigmaDB = jc.ShadowSigmaDB
 		cfg.Channel = ch
 	}
+	if jc.PhaseMaxDriftHz > 0 {
+		cfg.Phase = &fleet.PhaseConfig{MaxDriftHz: jc.PhaseMaxDriftHz}
+	}
+	cfg.Baseline = fleet.BaselineSystem(jc.Baseline)
 	return cfg, nil
 }
 

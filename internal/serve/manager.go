@@ -373,6 +373,11 @@ func (m *Manager) admit(jc JobConfig) error {
 	if jc.MaxPackets > m.limits.MaxPackets {
 		return fmt.Errorf("%w: packet budget %d exceeds limit %d", ErrRejected, jc.MaxPackets, m.limits.MaxPackets)
 	}
+	switch fleet.BaselineSystem(jc.Baseline) {
+	case fleet.BaselineMultiscatter, fleet.BaselineDoubleDecker:
+	default:
+		return fmt.Errorf("%w: unknown baseline %q", ErrRejected, jc.Baseline)
+	}
 	return nil
 }
 

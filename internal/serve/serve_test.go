@@ -141,6 +141,7 @@ func TestAdmission(t *testing.T) {
 		{Tags: 11},
 		{SpanMS: 2000},
 		{MaxPackets: 2000},
+		{Baseline: "hitchhike-fleet"},
 	}
 	for _, jc := range cases {
 		if _, err := m.Submit(jc); !errors.Is(err, ErrRejected) {
@@ -443,5 +444,45 @@ func TestParseFloor(t *testing.T) {
 	}
 	if _, _, err := ParseFloor("0x5"); err == nil {
 		t.Fatal("want error for zero width")
+	}
+}
+
+// TestDoubleDeckerJob pins the phase/baseline job plumbing: a
+// doubledecker job resolves to a phase-aware fleet config, runs to
+// completion, and its result records the baseline; the -phase knob maps
+// to a drift-capped PhaseConfig.
+func TestDoubleDeckerJob(t *testing.T) {
+	jc := smallJob(3)
+	jc.Baseline = string(fleet.BaselineDoubleDecker)
+	fcfg, err := jc.FleetConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fcfg.Baseline != fleet.BaselineDoubleDecker {
+		t.Fatalf("baseline not mapped: %q", fcfg.Baseline)
+	}
+	m := NewManager(Config{Obs: obs.NewRegistry()})
+	defer m.Close()
+	j, err := m.Submit(jc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	res := j.Result()
+	if res == nil {
+		t.Fatalf("job failed: %v", j.Err())
+	}
+	if !res.PhaseAware || res.Baseline != string(fleet.BaselineDoubleDecker) {
+		t.Fatalf("result not marked: phase %v baseline %q", res.PhaseAware, res.Baseline)
+	}
+
+	pj := smallJob(4)
+	pj.PhaseMaxDriftHz = 75
+	pcfg, err := pj.FleetConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcfg.Phase == nil || pcfg.Phase.MaxDriftHz != 75 {
+		t.Fatalf("phase knob not mapped: %+v", pcfg.Phase)
 	}
 }

@@ -31,6 +31,13 @@ const (
 	// site 0; internal/fleet keys the site by tag ID, so the stream is
 	// independent of the shard partition and worker count.
 	StreamEnergyHarvest
+	// StreamChannelPhase feeds the phase-aware complex channel: each
+	// link's initial phase and residual drift rate (channel.PhaseDrift)
+	// are drawn once per link-cache site, keyed exactly like
+	// StreamFleetShadow, so phase-aware runs are byte-identical at any
+	// worker count. Consumes two draws per site (phase, then rate) —
+	// see docs/CHANNELS.md for the determinism contract.
+	StreamChannelPhase
 )
 
 // SeedRNG derives a deterministic RNG for one named stream of a

@@ -129,6 +129,22 @@ func NewLoSChannel() *ChannelModel { return channel.NewLoS() }
 // Figure 14.
 func NewNLoSChannel() *ChannelModel { return channel.NewNLoS() }
 
+// ChannelCoeff is a complex channel coefficient H = |h|·e^{jφ}; its
+// Magnitude projection is the legacy PathLossDB/RSSI surface (see
+// docs/CHANNELS.md for the channel/baseline contract).
+type ChannelCoeff = channel.Coeff
+
+// ChannelEstimate is a pilot-based least-squares channel estimate.
+type ChannelEstimate = channel.Estimate
+
+// ChannelEstimator estimates complex coefficients from pilot symbols
+// and prices residual phase drift over a tracking horizon.
+type ChannelEstimator = channel.Estimator
+
+// PhaseDrift is a deterministic residual phase trajectory
+// φ(t) = φ₀ + 2π·f·t drawn from the StreamChannelPhase RNG stream.
+type PhaseDrift = channel.PhaseDrift
+
 // Link is one protocol's calibrated end-to-end backscatter link.
 type Link = core.Link
 
@@ -169,6 +185,21 @@ type OcclusionResult = core.OcclusionResult
 
 // RunOcclusion computes Figure 15.
 func RunOcclusion() []OcclusionResult { return core.RunOcclusion() }
+
+// OcclusionSweepPoint is one wall material of the extended Figure 15
+// sweep: the single-receiver Double-decker curve against the
+// dual-receiver baselines.
+type OcclusionSweepPoint = core.OcclusionSweepPoint
+
+// RunOcclusionSweep extends Figure 15 across wall materials.
+func RunOcclusionSweep() []OcclusionSweepPoint { return core.RunOcclusionSweep() }
+
+// RunDoubleDeckerDecode Monte-Carlos the waveform-level single-receiver
+// superposition decode (arXiv 2408.16280) and returns the measured
+// tag-bit error rate.
+func RunDoubleDeckerDecode(packets int, seed int64) (float64, error) {
+	return core.RunDoubleDeckerDecode(packets, seed)
+}
 
 // CollisionResult is one protocol's throughput under collisions (Fig 16).
 type CollisionResult = core.CollisionResult
@@ -256,6 +287,26 @@ func NewCustomPlan(p Protocol, gamma, kappa int, productive []byte) (*Plan, erro
 // grid × M excitation sources × K receivers, executed on a deterministic
 // sharded worker pool with cross-tag collision arbitration.
 type FleetConfig = fleet.Config
+
+// FleetPhaseConfig enables the phase-aware complex channel for a fleet
+// run (FleetConfig.Phase): per-link drift draws from StreamChannelPhase
+// and a coherent-receiver PER adjustment, with RSSI kept on the
+// magnitude surface (see docs/CHANNELS.md).
+type FleetPhaseConfig = fleet.PhaseConfig
+
+// FleetBaseline selects the decoding architecture a fleet run models.
+type FleetBaseline = fleet.BaselineSystem
+
+// Fleet baseline systems.
+const (
+	// FleetBaselineMultiscatter is the default multiscatter receiver.
+	FleetBaselineMultiscatter = fleet.BaselineMultiscatter
+	// FleetBaselineDoubleDecker models single-receiver superposition
+	// decoding (arXiv 2408.16280): auto-enables the phase-aware channel,
+	// scales tag capacity by the γ·spread and pilot budget, and adds the
+	// residual self-interference penalty.
+	FleetBaselineDoubleDecker = fleet.BaselineDoubleDecker
+)
 
 // FleetTag places and configures one tag of a fleet.
 type FleetTag = fleet.TagSpec

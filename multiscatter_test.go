@@ -58,8 +58,15 @@ func TestPublicExperimentSurface(t *testing.T) {
 	if got := len(multiscatter.RunTradeoffs()); got != 12 {
 		t.Fatalf("tradeoff rows = %d", got)
 	}
-	if got := len(multiscatter.RunOcclusion()); got != 4 {
+	if got := len(multiscatter.RunOcclusion()); got != 5 {
 		t.Fatalf("occlusion rows = %d", got)
+	}
+	sweep := multiscatter.RunOcclusionSweep()
+	if len(sweep) != 4 || sweep[0].DoubleDeckerKbps != sweep[3].DoubleDeckerKbps {
+		t.Fatalf("occlusion sweep wrong shape: %+v", sweep)
+	}
+	if ber, err := multiscatter.RunDoubleDeckerDecode(1, 1); err != nil || ber != 0 {
+		t.Fatalf("waveform decode: ber %v err %v", ber, err)
 	}
 	res := multiscatter.RunCarrierPick()
 	if !res.MeetsTarget {

@@ -14,8 +14,12 @@ echo "== go test -race ./..."
 go test -race ./...
 echo "== replay-diff (golden trace, serial vs parallel)"
 go test -run TestGoldenTrace -count=1 ./internal/replay
+echo "== fig15-demo (three-system occlusion comparison incl. Double-decker)"
+go run ./cmd/msbench -experiment fig15
 echo "== fig16-demo (concurrent multi-tag OFDM curve)"
 go run ./cmd/msbench -experiment fig16
+echo "== docs-check (dead intra-repo links)"
+sh scripts/docs_check.sh
 echo "== overlay fuzz smoke (5s)"
 go test -run - -fuzz FuzzPlanInvariants -fuzztime 5s ./internal/overlay
 echo "== serve smoke (msserve + msload byte-identical, race-built)"
