@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"multiscatter/internal/clilog"
+	"multiscatter/internal/obs"
 	"multiscatter/internal/serve"
 )
 
@@ -106,6 +107,11 @@ func main() {
 	done, failed := 0, 0
 	var sumKbps float64
 	var totalEvents int
+	// Client-observed end-to-end latency (submit → final result line)
+	// lands in the same SLO-bucketed histogram the server uses, so the
+	// reported percentiles are comparable to serve.latency.e2e_ms.
+	latReg := obs.NewRegistry()
+	lat := latReg.Histogram("msload.e2e_ms", obs.LatencyBucketsMS())
 	for _, oc := range outcomes {
 		if oc.err != nil {
 			failed++
@@ -115,10 +121,16 @@ func main() {
 		done++
 		sumKbps += oc.tagKbps
 		totalEvents += oc.events
+		lat.Observe(float64(oc.wall) / 1e6)
 	}
 	fmt.Printf("msload: %d jobs (%d done, %d failed) in %v — %.1f jobs/s, %d packets, Σ fleet %.2f kbps\n",
 		*jobs, done, failed, wall.Round(time.Millisecond),
 		float64(done)/wall.Seconds(), totalEvents, sumKbps)
+	if done > 0 {
+		h := latReg.Snapshot().Histograms["msload.e2e_ms"]
+		fmt.Printf("msload: e2e latency p50 %.1fms, p95 %.1fms, p99 %.1fms\n",
+			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}

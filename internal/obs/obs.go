@@ -125,10 +125,19 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Histogram returns the named fixed-bucket histogram, creating it with
-// the given upper bounds on first use. Later calls with the same name
-// return the existing histogram and ignore bounds, so one layout per
-// name is guaranteed registry-wide (the invariant Snapshot.Merge relies
-// on). bounds must be sorted ascending; nil defaults to TimeBucketsNS.
+// the given upper bounds on first use.
+//
+// The layout contract is FIRST CALLER WINS: the bounds of the call that
+// creates the histogram fix its layout for the registry's lifetime, and
+// every later call with the same name returns that same histogram with
+// its bounds ignored — even when they differ. One layout per name is
+// the invariant Snapshot.Merge relies on to sum buckets index-wise, so
+// callers sharing a name must agree on bounds (resolve the instrument
+// once at setup time, as the hot-path rule already demands).
+//
+// Bounds are validated and canonicalized on creation: nil or empty
+// defaults to TimeBucketsNS, unsorted input is sorted, duplicate bounds
+// collapse, and NaN or ±Inf bounds panic (see NewHistogram).
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	r.mu.RLock()
 	h, ok := r.hists[name]
@@ -141,7 +150,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if h, ok = r.hists[name]; ok {
 		return h
 	}
-	h = newHistogram(bounds)
+	h = NewHistogram(bounds)
 	r.hists[name] = h
 	return h
 }

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4), so any standard scraper can
+// consume the registry without a client-library dependency:
+//
+//   - counters render as <name>_total with TYPE counter (the dotted
+//     metric name is sanitized: every non-[a-zA-Z0-9_:] byte becomes
+//     "_", so "serve.jobs_done" → "serve_jobs_done_total");
+//   - gauges render as TYPE gauge;
+//   - histograms render as TYPE histogram with cumulative
+//     <name>_bucket{le="..."} series ending in le="+Inf", plus
+//     <name>_sum and <name>_count;
+//   - stage timers render as three series: <name>_count (counter),
+//     <name>_sum_ns (counter) and <name>_max_ns (gauge) — min is
+//     omitted because merged minima are not monotone.
+//
+// Series are emitted in sorted name order with a HELP line carrying the
+// original dotted name, so two equal snapshots render byte-identically.
+// Output is guaranteed to pass LintPrometheus.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range sortedKeys(s.Counters) {
+		n := PromName(name) + "_total"
+		fmt.Fprintf(bw, "# HELP %s counter %s\n# TYPE %s counter\n%s %d\n",
+			n, name, n, n, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := PromName(name)
+		fmt.Fprintf(bw, "# HELP %s gauge %s\n# TYPE %s gauge\n%s %s\n",
+			n, name, n, n, promFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		n := PromName(name)
+		fmt.Fprintf(bw, "# HELP %s histogram %s\n# TYPE %s histogram\n", n, name, n)
+		var cum int64
+		for i, b := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", n, promFloat(b), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(bw, "%s_sum %s\n", n, promFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", n, h.Count)
+	}
+	for _, name := range sortedKeys(s.Stages) {
+		st := s.Stages[name]
+		n := PromName(name)
+		fmt.Fprintf(bw, "# HELP %s_count counter %s executions\n# TYPE %s_count counter\n%s_count %d\n",
+			n, name, n, n, st.Count)
+		fmt.Fprintf(bw, "# HELP %s_sum_ns counter %s total nanoseconds\n# TYPE %s_sum_ns counter\n%s_sum_ns %d\n",
+			n, name, n, n, st.TotalNS)
+		fmt.Fprintf(bw, "# HELP %s_max_ns gauge %s slowest execution\n# TYPE %s_max_ns gauge\n%s_max_ns %d\n",
+			n, name, n, n, st.MaxNS)
+	}
+	return bw.Flush()
+}
+
+// PromName sanitizes a dotted metric name into the Prometheus name
+// charset: every byte outside [a-zA-Z0-9_:] becomes "_", and a leading
+// digit gains a "_" prefix.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects (shortest
+// round-trip form; integers without a decimal point).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promNameRE is the Prometheus metric-name grammar.
+var promNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// promLineRE matches a sample line: name, optional {le="..."} label
+// set (the only label this exporter emits), and a value.
+var promLineRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{le="([^"]*)"\})? (-?[0-9eE.+-]+|NaN)$`)
+
+// LintPrometheus validates text in the Prometheus exposition format as
+// produced by WritePrometheus: name/label character sets, one TYPE per
+// series family, histogram buckets cumulative (monotone nondecreasing)
+// with a final le="+Inf" bucket equal to _count. It exists so CI can
+// gate the /metrics/prom endpoint format without a Prometheus
+// dependency; it is intentionally strict about this exporter's subset
+// rather than lenient about the whole grammar.
+func LintPrometheus(text []byte) error {
+	typed := map[string]bool{}
+	// bucket state per histogram family
+	lastCum := map[string]int64{}
+	lastLE := map[string]float64{}
+	sawInf := map[string]int64{}
+	counts := map[string]int64{}
+	for ln, line := range strings.Split(string(text), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			name, kind := fields[2], fields[3]
+			if !promNameRE.MatchString(name) {
+				return fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: bad TYPE kind %q", lineNo, kind)
+			}
+			if typed[name] {
+				return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			typed[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return fmt.Errorf("line %d: unknown comment form: %q", lineNo, line)
+		}
+		m := promLineRE.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample: %q", lineNo, line)
+		}
+		name, le, val := m[1], m[2], m[3]
+		if strings.HasSuffix(name, "_bucket") && strings.Contains(line, "{le=") {
+			fam := strings.TrimSuffix(name, "_bucket")
+			cum, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: bucket value %q not an integer", lineNo, val)
+			}
+			if cum < lastCum[fam] {
+				return fmt.Errorf("line %d: %s buckets not cumulative: %d after %d", lineNo, fam, cum, lastCum[fam])
+			}
+			lastCum[fam] = cum
+			if le == "+Inf" {
+				sawInf[fam] = cum
+				continue
+			}
+			b, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: bad le %q", lineNo, le)
+			}
+			if prev, ok := lastLE[fam]; ok && b <= prev {
+				return fmt.Errorf("line %d: %s le bounds not increasing: %v after %v", lineNo, fam, b, prev)
+			}
+			lastLE[fam] = b
+			continue
+		}
+		if strings.HasSuffix(name, "_count") {
+			if c, err := strconv.ParseInt(val, 10, 64); err == nil {
+				counts[strings.TrimSuffix(name, "_count")] = c
+			}
+		}
+		if _, err := strconv.ParseFloat(val, 64); err != nil && val != "NaN" {
+			return fmt.Errorf("line %d: bad value %q", lineNo, val)
+		}
+	}
+	for fam, inf := range sawInf {
+		c, ok := counts[fam]
+		if !ok {
+			return fmt.Errorf("histogram %s has buckets but no %s_count", fam, fam)
+		}
+		if c != inf {
+			return fmt.Errorf("histogram %s: le=\"+Inf\" bucket %d != count %d", fam, inf, c)
+		}
+	}
+	for fam := range lastLE {
+		if _, ok := sawInf[fam]; !ok {
+			return fmt.Errorf("histogram %s missing le=\"+Inf\" bucket", fam)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.jobs_done").Add(5)
+	r.Gauge("serve.jobs_running").Set(2)
+	h := r.Histogram("serve.latency.e2e_ms", LatencyBucketsMS())
+	for _, v := range []float64{0.5, 3, 40, 900, 99999} {
+		h.Observe(v)
+	}
+	r.Stage("serve.job").Observe(3 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE serve_jobs_done_total counter",
+		"serve_jobs_done_total 5",
+		"# TYPE serve_jobs_running gauge",
+		"serve_jobs_running 2",
+		"# TYPE serve_latency_e2e_ms histogram",
+		`serve_latency_e2e_ms_bucket{le="1"} 1`,
+		`serve_latency_e2e_ms_bucket{le="+Inf"} 5`,
+		"serve_latency_e2e_ms_count 5",
+		"# TYPE serve_job_count counter",
+		"# TYPE serve_job_sum_ns counter",
+		"# TYPE serve_job_max_ns gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if err := LintPrometheus(buf.Bytes()); err != nil {
+		t.Fatalf("exposition fails its own lint: %v\n%s", err, text)
+	}
+
+	// Byte-stable: an idle registry renders identically twice.
+	var again bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two renders of an idle registry differ")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.jobs_done":     "serve_jobs_done",
+		"phy.dsss.modulate":   "phy_dsss_modulate",
+		"weird-name with %":   "weird_name_with__",
+		"9starts_with_digit":  "_9starts_with_digit",
+		"already_fine:colons": "already_fine:colons",
+		"fleet.outcome.tag-a": "fleet_outcome_tag_a",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLintPrometheusCatchesViolations(t *testing.T) {
+	cases := map[string]string{
+		"bad name":           "bad-name 1\n",
+		"malformed sample":   "metric_a one\n",
+		"duplicate TYPE":     "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"non-cumulative":     "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"bounds not rising":  "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"missing +Inf":       "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"Inf != count":       "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n",
+		"buckets sans count": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n",
+	}
+	for name, text := range cases {
+		if err := LintPrometheus([]byte(text)); err == nil {
+			t.Errorf("%s: lint accepted invalid exposition:\n%s", name, text)
+		}
+	}
+	valid := "# HELP m counter m\n# TYPE m counter\nm 42\n"
+	if err := LintPrometheus([]byte(valid)); err != nil {
+		t.Errorf("lint rejected valid exposition: %v", err)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 40})
+	// 10 observations ≤10, 10 in (10,20], none in (20,40], none beyond.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	s := h.snapshot()
+	if got := s.Quantile(0.5); got != 10 {
+		t.Fatalf("p50 = %v, want 10 (upper bound of first bucket)", got)
+	}
+	if got := s.Quantile(0.75); got != 15 {
+		t.Fatalf("p75 = %v, want 15 (midpoint of second bucket)", got)
+	}
+	if got := s.Quantile(1); got != 20 {
+		t.Fatalf("p100 = %v, want 20", got)
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %v, want 0", got)
+	}
+
+	// Overflow clamps to the largest bound.
+	o := NewHistogram([]float64{1, 2})
+	o.Observe(100)
+	if got := o.snapshot().Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile = %v, want 2", got)
+	}
+
+	// Degenerate inputs.
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	if got := s.Quantile(1.5); !math.IsNaN(got) {
+		t.Fatalf("out-of-range q = %v, want NaN", got)
+	}
+}
+
+func TestHistogramBoundsValidation(t *testing.T) {
+	// Unsorted input sorts; duplicates collapse.
+	h := NewHistogram([]float64{100, 10, 100, 1000})
+	s := h.snapshot()
+	want := []float64{10, 100, 1000}
+	if len(s.Bounds) != len(want) {
+		t.Fatalf("bounds = %v, want %v", s.Bounds, want)
+	}
+	for i := range want {
+		if s.Bounds[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", s.Bounds, want)
+		}
+	}
+
+	for name, bad := range map[string][]float64{
+		"NaN":  {1, math.NaN()},
+		"+Inf": {1, math.Inf(1)},
+		"-Inf": {math.Inf(-1), 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds did not panic", name)
+				}
+			}()
+			NewHistogram(bad)
+		}()
+	}
+
+	// First caller wins registry-wide: the creating call's layout is
+	// fixed, later bounds are ignored — documented contract.
+	r := NewRegistry()
+	first := r.Histogram("lat.contract", []float64{1, 2, 3})
+	second := r.Histogram("lat.contract", []float64{50, 60})
+	if first != second {
+		t.Fatal("same name must return the same histogram")
+	}
+	if got := first.snapshot().Bounds; len(got) != 3 || got[2] != 3 {
+		t.Fatalf("first-caller bounds not preserved: %v", got)
+	}
+
+	// nil and empty default to TimeBucketsNS.
+	if got := NewHistogram(nil).snapshot().Bounds; len(got) != 8 {
+		t.Fatalf("nil bounds → %v", got)
+	}
+	if got := NewHistogram([]float64{}).snapshot().Bounds; len(got) != 8 {
+		t.Fatalf("empty bounds → %v", got)
+	}
+}
+
+func TestCollectRuntime(t *testing.T) {
+	r := NewRegistry()
+	CollectRuntime(r)
+	s := r.Snapshot()
+	for _, g := range []string{
+		"runtime.goroutines", "runtime.gomaxprocs",
+		"runtime.heap_alloc_bytes", "runtime.heap_sys_bytes",
+		"runtime.heap_objects", "runtime.gc_runs",
+		"runtime.gc_pause_total_ms",
+	} {
+		if _, ok := s.Gauges[g]; !ok {
+			t.Errorf("missing runtime gauge %s", g)
+		}
+	}
+	if s.Gauges["runtime.goroutines"] < 1 || s.Gauges["runtime.heap_alloc_bytes"] <= 0 {
+		t.Fatalf("implausible runtime gauges: %v", s.Gauges)
+	}
+}

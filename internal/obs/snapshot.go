@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
@@ -34,6 +35,42 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"counts"`
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts
+// by linear interpolation inside the containing bucket — the same
+// estimator Prometheus' histogram_quantile uses, so dashboards built on
+// either agree. The first bucket interpolates from 0; an estimate that
+// lands in the overflow bucket clamps to the largest bound (the
+// histogram cannot resolve beyond its layout). Returns 0 for an empty
+// histogram and NaN for q outside [0, 1].
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if q < 0 || q > 1 || q != q {
+		return math.NaN()
+	}
+	if h.Count <= 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, b := range h.Bounds {
+		if i >= len(h.Counts) {
+			break
+		}
+		in := float64(h.Counts[i])
+		if cum+in >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.Bounds[i-1]
+			}
+			if in == 0 {
+				return b
+			}
+			return lower + (b-lower)*(rank-cum)/in
+		}
+		cum += in
+	}
+	return h.Bounds[len(h.Bounds)-1]
 }
 
 // Snapshot is a registry's state as plain data: safe to marshal, diff,

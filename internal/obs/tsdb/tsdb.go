@@ -1,0 +1,245 @@
+// Package tsdb is a fixed-capacity in-process time-series store for the
+// obs registry: a Sampler wakes on a ticker, snapshots a Registry, and
+// appends each metric's current value to a per-series ring. The result
+// is the time dimension the snapshot endpoints lack — /metrics says
+// where a counter *is*, /metrics/history says how it *moved* — at a
+// hard memory bound (capacity × series, no allocation after warm-up)
+// suitable for a resident service.
+//
+// What gets sampled each tick:
+//
+//   - every counter, as its running total (rate = caller-side delta);
+//   - every gauge, as its level;
+//   - every histogram, as <name>.p50/.p95/.p99 quantile estimates
+//     (HistogramSnapshot.Quantile) plus <name>.count;
+//   - every stage timer, as <name>.count and <name>.mean_ms.
+//
+// Like stage timers and histograms, sampled series carry wall-clock
+// values and wall-clock sample times: history is operator telemetry,
+// never golden-file material.
+package tsdb
+
+import (
+	"sync"
+	"time"
+
+	"multiscatter/internal/obs"
+)
+
+// quantiles sampled from every histogram, with the series suffixes.
+var quantiles = []struct {
+	q      float64
+	suffix string
+}{
+	{0.50, ".p50"},
+	{0.95, ".p95"},
+	{0.99, ".p99"},
+}
+
+// Config sizes a Sampler. Zero fields take the stated defaults.
+type Config struct {
+	// Registry to sample. nil defaults to obs.Default().
+	Registry *obs.Registry
+	// Interval between ticker samples. Default 1s.
+	Interval time.Duration
+	// Capacity bounds each series' ring; older samples are overwritten.
+	// Default 600 (10 minutes of history at the default interval).
+	Capacity int
+	// Collect, when non-nil, runs right before each sample pass —
+	// obs.CollectRuntime is the intended hook, so runtime health gauges
+	// are as fresh as the sample.
+	Collect func(*obs.Registry)
+}
+
+// Sampler owns the rings and the ticker goroutine. Create with New;
+// Start launches the ticker (sampling once immediately), Stop halts it.
+// SampleNow is always available for manual passes, ticker or not.
+type Sampler struct {
+	reg      *obs.Registry
+	interval time.Duration
+	capacity int
+	collect  func(*obs.Registry)
+
+	mu      sync.Mutex
+	series  map[string]*ring
+	samples int64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// ring is one series' fixed-capacity buffer of (unix-ms, value) pairs.
+type ring struct {
+	t    []int64
+	v    []float64
+	next int
+	full bool
+}
+
+// add appends one sample, overwriting the oldest at capacity.
+func (r *ring) add(capacity int, t int64, v float64) {
+	if !r.full {
+		r.t = append(r.t, t)
+		r.v = append(r.v, v)
+		if len(r.t) >= capacity {
+			r.full = true
+		}
+		return
+	}
+	r.t[r.next] = t
+	r.v[r.next] = v
+	r.next++
+	if r.next == len(r.t) {
+		r.next = 0
+	}
+}
+
+// ordered returns the ring's samples oldest-first.
+func (r *ring) ordered() ([]int64, []float64) {
+	n := len(r.t)
+	ts := make([]int64, 0, n)
+	vs := make([]float64, 0, n)
+	if r.full {
+		ts = append(ts, r.t[r.next:]...)
+		vs = append(vs, r.v[r.next:]...)
+	}
+	ts = append(ts, r.t[:rlen(r)]...)
+	vs = append(vs, r.v[:rlen(r)]...)
+	return ts, vs
+}
+
+// rlen is the logical split point: next when full, len otherwise.
+func rlen(r *ring) int {
+	if r.full {
+		return r.next
+	}
+	return len(r.t)
+}
+
+// New returns a sampler over cfg. The ticker is not running yet.
+func New(cfg Config) *Sampler {
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 600
+	}
+	return &Sampler{
+		reg:      cfg.Registry,
+		interval: cfg.Interval,
+		capacity: cfg.Capacity,
+		collect:  cfg.Collect,
+		series:   map[string]*ring{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Interval returns the configured sampling interval.
+func (s *Sampler) Interval() time.Duration { return s.interval }
+
+// Start launches the ticker goroutine, taking one sample immediately so
+// History is never empty after Start. Safe to call once; later calls
+// are no-ops.
+func (s *Sampler) Start() {
+	s.startOnce.Do(func() {
+		s.SampleNow()
+		go func() {
+			defer close(s.done)
+			tick := time.NewTicker(s.interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					s.SampleNow()
+				case <-s.stop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the ticker goroutine and waits for it to exit. Idempotent;
+// a Sampler that was never Started stops trivially.
+func (s *Sampler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.startOnce.Do(func() { close(s.done) }) // never started: mark done
+	<-s.done
+}
+
+// SampleNow takes one sample pass: run the Collect hook, snapshot the
+// registry, append every derived series. Safe for concurrent use.
+func (s *Sampler) SampleNow() {
+	if s.collect != nil {
+		s.collect(s.reg)
+	}
+	snap := s.reg.Snapshot()
+	now := time.Now().UnixMilli()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples++
+	add := func(name string, v float64) {
+		r, ok := s.series[name]
+		if !ok {
+			r = &ring{}
+			s.series[name] = r
+		}
+		r.add(s.capacity, now, v)
+	}
+	for name, v := range snap.Counters {
+		add(name, float64(v))
+	}
+	for name, v := range snap.Gauges {
+		add(name, v)
+	}
+	for name, h := range snap.Histograms {
+		for _, q := range quantiles {
+			add(name+q.suffix, h.Quantile(q.q))
+		}
+		add(name+".count", float64(h.Count))
+	}
+	for name, st := range snap.Stages {
+		add(name+".count", float64(st.Count))
+		add(name+".mean_ms", float64(st.MeanNS())/1e6)
+	}
+}
+
+// Series is one metric's history, oldest sample first. TMS holds unix
+// milliseconds; V the sampled values, index-aligned.
+type Series struct {
+	TMS []int64   `json:"t_ms"`
+	V   []float64 `json:"v"`
+}
+
+// History is the store's full state — the /metrics/history payload.
+type History struct {
+	IntervalMS int64             `json:"interval_ms"`
+	Capacity   int               `json:"capacity"`
+	Samples    int64             `json:"samples"`
+	Series     map[string]Series `json:"series"`
+}
+
+// History snapshots every series oldest-first. The maps and slices are
+// copies; callers may marshal or mutate freely.
+func (s *Sampler) History() History {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := History{
+		IntervalMS: s.interval.Milliseconds(),
+		Capacity:   s.capacity,
+		Samples:    s.samples,
+		Series:     make(map[string]Series, len(s.series)),
+	}
+	for name, r := range s.series {
+		ts, vs := r.ordered()
+		out.Series[name] = Series{TMS: ts, V: vs}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"multiscatter/internal/obs"
+)
+
+func TestSampleDerivesSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("serve.jobs_done").Add(3)
+	reg.Gauge("serve.jobs_running").Set(2)
+	h := reg.Histogram("serve.latency.e2e_ms", obs.LatencyBucketsMS())
+	for i := 0; i < 100; i++ {
+		h.Observe(20)
+	}
+	reg.Stage("serve.job").Observe(4 * time.Millisecond)
+
+	s := New(Config{Registry: reg, Interval: time.Hour, Capacity: 8})
+	s.SampleNow()
+	reg.Counter("serve.jobs_done").Add(2)
+	s.SampleNow()
+
+	hist := s.History()
+	if hist.Samples != 2 || hist.Capacity != 8 {
+		t.Fatalf("history meta = %+v", hist)
+	}
+	jd := hist.Series["serve.jobs_done"]
+	if len(jd.V) != 2 || jd.V[0] != 3 || jd.V[1] != 5 {
+		t.Fatalf("counter series = %+v", jd)
+	}
+	if got := hist.Series["serve.jobs_running"].V; len(got) != 2 || got[0] != 2 {
+		t.Fatalf("gauge series = %v", got)
+	}
+	p95 := hist.Series["serve.latency.e2e_ms.p95"]
+	if len(p95.V) != 2 || p95.V[0] <= 0 || p95.V[0] > 25 {
+		t.Fatalf("p95 series = %+v (want within the 20ms bucket range)", p95)
+	}
+	if got := hist.Series["serve.latency.e2e_ms.count"].V; got[1] != 100 {
+		t.Fatalf("histogram count series = %v", got)
+	}
+	if got := hist.Series["serve.job.count"].V; got[0] != 1 {
+		t.Fatalf("stage count series = %v", got)
+	}
+	if got := hist.Series["serve.job.mean_ms"].V; got[0] != 4 {
+		t.Fatalf("stage mean series = %v", got)
+	}
+
+	// The payload must marshal cleanly (it is served as JSON).
+	if _, err := json.Marshal(hist); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("c")
+	s := New(Config{Registry: reg, Interval: time.Hour, Capacity: 4})
+	for i := 1; i <= 10; i++ {
+		c.Inc()
+		s.SampleNow()
+	}
+	got := s.History().Series["c"]
+	if len(got.V) != 4 {
+		t.Fatalf("ring length = %d, want 4", len(got.V))
+	}
+	// Oldest-first, newest 4 of the 10 samples: 7, 8, 9, 10.
+	for i, want := range []float64{7, 8, 9, 10} {
+		if got.V[i] != want {
+			t.Fatalf("ring values = %v, want [7 8 9 10]", got.V)
+		}
+	}
+	for i := 1; i < len(got.TMS); i++ {
+		if got.TMS[i] < got.TMS[i-1] {
+			t.Fatalf("timestamps not monotone: %v", got.TMS)
+		}
+	}
+}
+
+func TestStartTickerAndStop(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("c").Inc()
+	s := New(Config{Registry: reg, Interval: 5 * time.Millisecond, Capacity: 100})
+	s.Start()
+	// Start samples immediately, so history is non-empty at once.
+	if h := s.History(); h.Samples < 1 {
+		t.Fatalf("no immediate sample: %+v", h)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.History().Samples < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("ticker never sampled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	after := s.History().Samples
+	time.Sleep(20 * time.Millisecond)
+	if got := s.History().Samples; got != after {
+		t.Fatalf("sampler kept running after Stop: %d → %d", after, got)
+	}
+
+	// A never-started sampler stops trivially.
+	New(Config{Registry: reg}).Stop()
+}
+
+func TestCollectHookRuns(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{
+		Registry: reg,
+		Interval: time.Hour,
+		Collect:  obs.CollectRuntime,
+	})
+	s.SampleNow()
+	if _, ok := s.History().Series["runtime.goroutines"]; !ok {
+		t.Fatal("collect hook did not run (no runtime.goroutines series)")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"multiscatter/internal/obs"
 	"multiscatter/internal/obs/ptrace"
@@ -23,8 +24,16 @@ import (
 //	POST /jobs/{id}/cancel cancel a pending or running job
 //	GET  /jobs/{id}/metrics the job's own obs snapshot (JSON)
 //	GET  /jobs/{id}/trace  the job's flight-recorder stream (JSONL)
+//	GET  /jobs/{id}/spans  the job's span timeline; ?format=json
+//	                       (default), jsonl, or chrome (Perfetto)
+//	GET  /metrics          the service's own registry snapshot (JSON)
 //	GET  /metrics/jobs     merged per-job engine metrics across all jobs
-//	GET  /healthz          liveness + draining state
+//	GET  /metrics/prom     Prometheus text exposition: service registry
+//	                       + merged job counters + runtime health gauges
+//	GET  /metrics/history  sampled time series (counters, gauges,
+//	                       histogram quantiles) from the telemetry ring
+//	GET  /healthz          structured health: queue depth vs limits,
+//	                       lifecycle tallies, drain state, overload time
 //	/obs/...               the standard obs endpoint (metrics, pprof,
 //	                       trace/last) over the server's registry
 //
@@ -49,7 +58,7 @@ func Handler(m *Manager, reg *obs.Registry) http.Handler {
 			return
 		}
 		if r.URL.Query().Get("wait") == "1" {
-			streamJob(w, r, job)
+			streamJob(m, w, r, job)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -80,7 +89,7 @@ func Handler(m *Manager, reg *obs.Registry) http.Handler {
 			http.Error(w, ErrNotFound.Error(), http.StatusNotFound)
 			return
 		}
-		streamJob(w, r, job)
+		streamJob(m, w, r, job)
 	})
 	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
 		if err := m.Cancel(r.PathValue("id")); err != nil {
@@ -118,19 +127,61 @@ func Handler(m *Manager, reg *obs.Registry) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("GET /jobs/{id}/spans", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			http.Error(w, ErrNotFound.Error(), http.StatusNotFound)
+			return
+		}
+		spans := job.Spans()
+		switch r.URL.Query().Get("format") {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			writeJSON(w, spans)
+		case "jsonl":
+			w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+			if err := obs.WriteSpanJSONL(w, spans); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case "chrome", "perfetto":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			if err := obs.WriteSpanChrome(w, job.ID, spans); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		default:
+			http.Error(w, "unknown format (want json, jsonl, or chrome)", http.StatusBadRequest)
+		}
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := m.Registry().Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("GET /metrics/jobs", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		if err := m.MergedJobMetrics().WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("GET /metrics/prom", func(w http.ResponseWriter, _ *http.Request) {
+		// Scrape-time collection: refresh the runtime gauges, then fold
+		// the merged per-job engine counters into the service snapshot so
+		// one scrape sees the whole process.
+		obs.CollectRuntime(m.Registry())
+		snap := m.Registry().Snapshot().Merge(m.MergedJobMetrics())
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := snap.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("GET /metrics/history", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		writeJSON(w, m.History())
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		writeJSON(w, map[string]any{
-			"status":   "ok",
-			"draining": m.Draining(),
-			"jobs":     len(m.Jobs()),
-		})
+		writeJSON(w, m.Health())
 	})
 	mux.Handle("/obs/", http.StripPrefix("/obs", obs.Handler(reg)))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -144,7 +195,9 @@ func Handler(m *Manager, reg *obs.Registry) http.Handler {
 			"POST /jobs[?wait=1]", "GET /jobs", "GET /jobs/{id}",
 			"GET /jobs/{id}/result", "POST /jobs/{id}/cancel",
 			"GET /jobs/{id}/metrics", "GET /jobs/{id}/trace",
-			"GET /metrics/jobs", "GET /healthz", "/obs/",
+			"GET /jobs/{id}/spans[?format=json|jsonl|chrome]",
+			"GET /metrics", "GET /metrics/jobs", "GET /metrics/prom",
+			"GET /metrics/history", "GET /healthz", "/obs/",
 		} {
 			fmt.Fprintln(w, "  "+p)
 		}
@@ -177,8 +230,15 @@ type jobEvent struct {
 
 // streamJob writes the job's progress as NDJSON until it terminates or
 // the client goes away: a "state" line up front, then the terminal
-// "result"/"failed"/"cancelled" line.
-func streamJob(w http.ResponseWriter, r *http.Request, job *Job) {
+// "result"/"failed"/"cancelled" line. Each stream rides a "streaming"
+// span on the job's timeline and lands in the stream latency histogram.
+func streamJob(m *Manager, w http.ResponseWriter, r *http.Request, job *Job) {
+	sp := job.StreamSpan()
+	t0 := time.Now()
+	defer func() {
+		sp.End()
+		m.lat.stream.Observe(float64(time.Since(t0)) / 1e6)
+	}()
 	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
 	flusher, _ := w.(http.Flusher)
 	emit := func(ev jobEvent) {

@@ -14,6 +14,7 @@ import (
 	"multiscatter/internal/fleet"
 	"multiscatter/internal/obs"
 	"multiscatter/internal/obs/ptrace"
+	"multiscatter/internal/obs/tsdb"
 )
 
 // State is a job's lifecycle state.
@@ -94,6 +95,15 @@ type Config struct {
 	// MergedJobMetrics.
 	Obs *obs.Registry
 
+	// HistoryInterval is the telemetry sampler's tick — every tick the
+	// Obs registry is sampled into the /metrics/history ring. Zero
+	// defaults to 1s; negative disables the ticker (the ring still
+	// fills via Manager.SampleTelemetry, which tests use).
+	HistoryInterval time.Duration
+	// HistoryCapacity bounds each history series; older samples are
+	// overwritten. Zero defaults to 600 (10 min at the 1s default).
+	HistoryCapacity int
+
 	// testGate, when non-nil, makes every runner block on it after
 	// marking its job running and before entering the engine — tests
 	// use it to pin jobs deterministically in flight. Unexported: only
@@ -120,6 +130,14 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 	cancel    context.CancelFunc
+
+	// spans is the job's telemetry timeline: a root "job" span opened at
+	// admission with "queued"/"running"/"streaming" children. Immutable
+	// after Submit; the recorder has its own lock.
+	spans      *obs.SpanRecorder
+	spanRoot   *obs.Span
+	spanQueued *obs.Span
+	spanRun    *obs.Span
 
 	done chan struct{}
 }
@@ -164,6 +182,16 @@ func (j *Job) Trace() []ptrace.Event {
 	defer j.mu.Unlock()
 	return j.trace
 }
+
+// Spans returns the job's telemetry timeline so far: the root "job"
+// span plus "queued"/"running"/"streaming" children. Spans carry
+// wall-clock times and are operator telemetry, never part of the
+// deterministic result.
+func (j *Job) Spans() []obs.SpanSnapshot { return j.spans.Snapshot() }
+
+// StreamSpan opens a "streaming" child on the job's timeline; the
+// caller Ends it when the result stream closes.
+func (j *Job) StreamSpan() *obs.Span { return j.spans.Start("streaming", j.spanRoot) }
 
 // Err returns the failure/cancellation message ("" while healthy).
 func (j *Job) Err() string {
@@ -230,7 +258,21 @@ func (j *Job) start(cancel context.CancelFunc) bool {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	j.spanQueued.End()
+	j.spanRun = j.spans.Start("running", j.spanRoot)
 	return true
+}
+
+// closeSpansLocked finishes the job's timeline at a terminal state.
+// Callers hold j.mu; the recorder's own lock never acquires j.mu.
+func (j *Job) closeSpansLocked() {
+	j.spanQueued.End()
+	j.spanRun.End()
+	j.spanRoot.SetAttr("state", string(j.state))
+	if j.err != "" {
+		j.spanRoot.SetAttr("error", j.err)
+	}
+	j.spanRoot.End()
 }
 
 // Cancel requests cancellation: a pending job terminates immediately,
@@ -246,6 +288,7 @@ func (j *Job) Cancel() {
 		j.state = StateCancelled
 		j.err = "cancelled before start"
 		j.finished = time.Now()
+		j.closeSpansLocked()
 		j.mu.Unlock()
 		close(j.done)
 		return
@@ -275,6 +318,11 @@ type Manager struct {
 	order    []*Job
 	seq      int
 	draining bool
+	// busySince/busyTotal track time spent in overload: busySince is set
+	// on the first ErrBusy rejection and cleared (accumulating into
+	// busyTotal) by the next successful enqueue. Guarded by mu.
+	busySince time.Time
+	busyTotal time.Duration
 
 	mergedMu sync.Mutex
 	merged   obs.Snapshot
@@ -285,6 +333,19 @@ type Manager struct {
 	runningN atomic.Int64
 	running  *obs.Gauge
 	queued   *obs.Gauge
+
+	created time.Time
+	sampler *tsdb.Sampler
+
+	// lat holds the SLO latency histograms, resolved once at
+	// construction (the hot-path rule: never look up by name per job).
+	// All observe milliseconds on obs.LatencyBucketsMS bounds.
+	lat struct {
+		queueWait *obs.Histogram // admission → runner pickup
+		run       *obs.Histogram // runner pickup → terminal
+		stream    *obs.Histogram // result-stream request → close
+		e2e       *obs.Histogram // admission → terminal
+	}
 }
 
 // NewManager starts the pool and MaxRunning runner goroutines.
@@ -306,8 +367,23 @@ func NewManager(cfg Config) *Manager {
 		startGate:  cfg.testGate,
 		running:    cfg.Obs.Gauge("serve.jobs_running"),
 		queued:     cfg.Obs.Gauge("serve.jobs_queued"),
+		created:    time.Now(),
+	}
+	m.lat.queueWait = cfg.Obs.Histogram("serve.latency.queue_wait_ms", obs.LatencyBucketsMS())
+	m.lat.run = cfg.Obs.Histogram("serve.latency.run_ms", obs.LatencyBucketsMS())
+	m.lat.stream = cfg.Obs.Histogram("serve.latency.stream_ms", obs.LatencyBucketsMS())
+	m.lat.e2e = cfg.Obs.Histogram("serve.latency.e2e_ms", obs.LatencyBucketsMS())
+	m.sampler = tsdb.New(tsdb.Config{
+		Registry: cfg.Obs,
+		Interval: cfg.HistoryInterval,
+		Capacity: cfg.HistoryCapacity,
+		Collect:  obs.CollectRuntime,
+	})
+	if cfg.HistoryInterval >= 0 {
+		m.sampler.Start()
 	}
 	m.obs.Gauge("serve.pool_workers").Set(float64(m.pool.Size()))
+	m.obs.Gauge("serve.queue_capacity").Set(float64(lim.MaxQueue))
 	m.runnerWG.Add(lim.MaxRunning)
 	for i := 0; i < lim.MaxRunning; i++ {
 		go m.runner()
@@ -342,13 +418,26 @@ func (m *Manager) Submit(jc JobConfig) (*Job, error) {
 		state:     StatePending,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
+		spans:     obs.NewSpanRecorder(),
 	}
+	job.spanRoot = job.spans.Start("job", nil)
+	job.spanRoot.SetAttr("id", job.ID)
+	job.spanRoot.SetAttr("scenario", jc.Scenario)
+	job.spanQueued = job.spans.Start("queued", job.spanRoot)
 	select {
 	case m.queue <- job:
+		if !m.busySince.IsZero() {
+			m.busyTotal += time.Since(m.busySince)
+			m.busySince = time.Time{}
+		}
 	default:
 		m.seq--
+		if m.busySince.IsZero() {
+			m.busySince = time.Now()
+		}
 		m.mu.Unlock()
 		m.obs.Counter("serve.jobs_rejected").Inc()
+		m.obs.Counter("serve.jobs_busy_rejected").Inc()
 		return nil, ErrBusy
 	}
 	m.jobs[job.ID] = job
@@ -422,6 +511,84 @@ func (m *Manager) Draining() bool {
 	return m.draining
 }
 
+// Registry returns the manager's own metrics registry (serve.*
+// counters, gauges, latency histograms).
+func (m *Manager) Registry() *obs.Registry { return m.obs }
+
+// History returns the telemetry sampler's ring — the /metrics/history
+// payload.
+func (m *Manager) History() tsdb.History { return m.sampler.History() }
+
+// SampleTelemetry takes one manual sampler pass (tests and handlers
+// that want history fresher than the tick).
+func (m *Manager) SampleTelemetry() { m.sampler.SampleNow() }
+
+// Health is the structured /healthz payload: admission pressure
+// against the configured limits, lifecycle tallies, and overload
+// history. Status is "ok" or "draining"; Overloaded is true while the
+// queue is rejecting with ErrBusy (set on the first busy rejection,
+// cleared by the next successful enqueue), and BusyMS accumulates
+// total time spent in that state.
+type Health struct {
+	Status        string  `json:"status"`
+	Draining      bool    `json:"draining"`
+	UptimeMS      float64 `json:"uptime_ms"`
+	Jobs          int     `json:"jobs"`
+	JobsPending   int     `json:"jobs_pending"`
+	JobsRunning   int     `json:"jobs_running"`
+	JobsDone      int     `json:"jobs_done"`
+	JobsFailed    int     `json:"jobs_failed"`
+	JobsCancelled int     `json:"jobs_cancelled"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	MaxRunning    int     `json:"max_running"`
+	PoolWorkers   int     `json:"pool_workers"`
+	Overloaded    bool    `json:"overloaded"`
+	BusyMS        float64 `json:"busy_ms"`
+	Goroutines    int     `json:"goroutines"`
+}
+
+// Health snapshots the manager's runtime health.
+func (m *Manager) Health() Health {
+	m.mu.Lock()
+	h := Health{
+		Status:        "ok",
+		Draining:      m.draining,
+		UptimeMS:      float64(time.Since(m.created)) / 1e6,
+		Jobs:          len(m.order),
+		QueueDepth:    len(m.queue),
+		QueueCapacity: m.limits.MaxQueue,
+		MaxRunning:    m.limits.MaxRunning,
+		PoolWorkers:   m.pool.Size(),
+		Overloaded:    !m.busySince.IsZero(),
+		BusyMS:        float64(m.busyTotal) / 1e6,
+	}
+	if !m.busySince.IsZero() {
+		h.BusyMS += float64(time.Since(m.busySince)) / 1e6
+	}
+	order := append([]*Job(nil), m.order...)
+	m.mu.Unlock()
+	if h.Draining {
+		h.Status = "draining"
+	}
+	for _, j := range order {
+		switch j.State() {
+		case StatePending:
+			h.JobsPending++
+		case StateRunning:
+			h.JobsRunning++
+		case StateDone:
+			h.JobsDone++
+		case StateFailed:
+			h.JobsFailed++
+		case StateCancelled:
+			h.JobsCancelled++
+		}
+	}
+	h.Goroutines = runtime.NumGoroutine()
+	return h
+}
+
 // runner executes queued jobs until the queue closes.
 func (m *Manager) runner() {
 	defer m.runnerWG.Done()
@@ -439,6 +606,7 @@ func (m *Manager) runJob(job *Job) {
 	if !job.start(cancel) {
 		return // cancelled while queued
 	}
+	m.lat.queueWait.Observe(float64(job.started.Sub(job.submitted)) / 1e6)
 	if m.startGate != nil {
 		<-m.startGate
 	}
@@ -506,9 +674,16 @@ func (m *Manager) finishJob(job *Job, res *fleet.Result, raw []byte, snap obs.Sn
 		job.state = StateFailed
 		job.err = err.Error()
 	}
+	job.closeSpansLocked()
 	state := job.state
+	started, submitted, finished := job.started, job.submitted, job.finished
 	job.mu.Unlock()
 	close(job.done)
+
+	if !started.IsZero() {
+		m.lat.run.Observe(float64(finished.Sub(started)) / 1e6)
+	}
+	m.lat.e2e.Observe(float64(finished.Sub(submitted)) / 1e6)
 
 	m.mergedMu.Lock()
 	m.merged = m.merged.Merge(snap)
@@ -551,10 +726,12 @@ func (m *Manager) Drain(ctx context.Context) {
 	}
 }
 
-// Close drains with immediate cancellation and releases the pool.
+// Close drains with immediate cancellation, stops the telemetry
+// sampler, and releases the pool.
 func (m *Manager) Close() {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	m.Drain(ctx)
+	m.sampler.Stop()
 	m.pool.Close()
 }

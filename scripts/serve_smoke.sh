@@ -6,6 +6,9 @@
 # checking graceful SIGTERM drain (exit 0).
 #
 # Knobs (env): MS_SMOKE_JOBS (default 6), MS_SMOKE_SEED (default 7).
+# MS_SMOKE_ARTIFACTS, when set to a directory, receives a telemetry
+# snapshot (prom.txt, healthz.json, history.json, spans.json) captured
+# from the live server — CI uploads it as a build artifact.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -68,8 +71,29 @@ echo "   $JOBS/$JOBS results byte-identical"
 echo "== API surface"
 curl -sf "http://$ADDR/healthz" > /dev/null
 curl -sf "http://$ADDR/jobs" > /dev/null
+curl -sf "http://$ADDR/metrics" > /dev/null
 curl -sf "http://$ADDR/metrics/jobs" > /dev/null
 curl -sf "http://$ADDR/obs/metrics" > /dev/null
+
+echo "== telemetry snapshot (prom, healthz, history, spans)"
+curl -sf "http://$ADDR/metrics/prom" > "$WORK/prom.txt"
+curl -sf "http://$ADDR/healthz" > "$WORK/healthz.json"
+curl -sf "http://$ADDR/metrics/history" > "$WORK/history.json"
+curl -sf "http://$ADDR/jobs/job-1/spans" > "$WORK/spans.json"
+grep -q "^serve_jobs_done_total $JOBS\$" "$WORK/prom.txt"
+grep -q "serve_latency_e2e_ms_bucket" "$WORK/prom.txt"
+grep -q "runtime_goroutines" "$WORK/prom.txt"
+grep -q '"status": "ok"' "$WORK/healthz.json"
+grep -q '"jobs_done": '"$JOBS" "$WORK/healthz.json"
+grep -q '"serve.jobs_running"' "$WORK/history.json"
+grep -q '"name": "job"' "$WORK/spans.json"
+grep -q '"state": "done"' "$WORK/spans.json"
+if [ -n "${MS_SMOKE_ARTIFACTS:-}" ]; then
+    mkdir -p "$MS_SMOKE_ARTIFACTS"
+    cp "$WORK/prom.txt" "$WORK/healthz.json" "$WORK/history.json" \
+        "$WORK/spans.json" "$MS_SMOKE_ARTIFACTS/"
+    echo "   telemetry snapshot copied to $MS_SMOKE_ARTIFACTS"
+fi
 
 echo "== graceful drain on SIGTERM"
 kill -TERM "$SRV_PID"
